@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the benchmark/reproduction binaries: aligned table
+ * printing for the paper-style reports each bench emits before its
+ * google-benchmark timings.
+ */
+
+#ifndef WO_BENCH_BENCH_UTIL_HH
+#define WO_BENCH_BENCH_UTIL_HH
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace wo::benchutil {
+
+/** Prints an aligned table: header row then data rows. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    void
+    addRow(std::vector<std::string> row)
+    {
+        rows_.push_back(std::move(row));
+    }
+
+    void
+    print(std::ostream &os = std::cout) const
+    {
+        std::vector<std::size_t> width(header_.size(), 0);
+        auto widen = [&](const std::vector<std::string> &row) {
+            for (std::size_t i = 0; i < row.size() && i < width.size();
+                 ++i) {
+                width[i] = std::max(width[i], row[i].size());
+            }
+        };
+        widen(header_);
+        for (const auto &r : rows_)
+            widen(r);
+        auto emit = [&](const std::vector<std::string> &row) {
+            for (std::size_t i = 0; i < row.size(); ++i) {
+                os << std::left
+                   << std::setw(static_cast<int>(width[i]) + 2) << row[i];
+            }
+            os << '\n';
+        };
+        emit(header_);
+        for (std::size_t i = 0; i < width.size(); ++i)
+            os << std::string(width[i], '-') << "  ";
+        os << '\n';
+        for (const auto &r : rows_)
+            emit(r);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+} // namespace wo::benchutil
+
+#endif // WO_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Infrastructure ablation: cost of the formal machinery — the SC
+ * verifier's backtracking search and the idealized architecture's
+ * outcome enumeration — as workloads grow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "core/idealized.hh"
+#include "core/sc_verifier.hh"
+#include "cpu/program_builder.hh"
+#include "system/system.hh"
+#include "workload/random_gen.hh"
+
+namespace {
+
+using namespace wo;
+
+ExecutionTrace
+traceFor(int sections, std::uint64_t seed)
+{
+    RandomWorkloadConfig w;
+    w.numProcs = 4;
+    w.numLocks = 2;
+    w.locsPerLock = 3;
+    w.sectionsPerProc = sections;
+    w.opsPerSection = 3;
+    w.seed = seed;
+    MultiProgram mp = randomDrf0Program(w);
+    SystemConfig cfg;
+    cfg.policy = PolicyKind::Def2Drf0;
+    cfg.net.seed = seed;
+    System sys(mp, cfg);
+    sys.run();
+    return sys.trace();
+}
+
+void
+BM_ScVerifier(benchmark::State &state)
+{
+    ExecutionTrace t = traceFor(static_cast<int>(state.range(0)), 11);
+    std::uint64_t states = 0;
+    for (auto _ : state) {
+        ScReport r = verifySc(t);
+        states = r.statesExplored;
+        benchmark::DoNotOptimize(r.verdict);
+    }
+    state.counters["trace_accesses"] =
+        benchmark::Counter(static_cast<double>(t.size()));
+    state.counters["search_states"] =
+        benchmark::Counter(static_cast<double>(states));
+}
+BENCHMARK(BM_ScVerifier)->DenseRange(1, 6);
+
+MultiProgram
+boundedWorkload(int procs, int sections)
+{
+    RandomWorkloadConfig w;
+    w.numProcs = procs;
+    w.numLocks = 1;
+    w.locsPerLock = 2;
+    w.sectionsPerProc = sections;
+    w.opsPerSection = 1;
+    w.privateOpsBetween = 1;
+    w.spinAcquire = false;
+    w.seed = 5;
+    return randomDrf0Program(w);
+}
+
+void
+BM_OutcomeEnumeration(benchmark::State &state)
+{
+    MultiProgram mp =
+        boundedWorkload(static_cast<int>(state.range(0)), 1);
+    std::uint64_t states = 0, outcomes = 0;
+    for (auto _ : state) {
+        OutcomeSet s = enumerateOutcomes(mp);
+        states = s.statesVisited;
+        outcomes = s.outcomes.size();
+        benchmark::DoNotOptimize(s.bounded);
+    }
+    state.counters["states"] =
+        benchmark::Counter(static_cast<double>(states));
+    state.counters["outcomes"] =
+        benchmark::Counter(static_cast<double>(outcomes));
+}
+BENCHMARK(BM_OutcomeEnumeration)->DenseRange(2, 4);
+
+void
+BM_ExhaustiveInterleavings(benchmark::State &state)
+{
+    // Straight-line Dekker-style programs: interleavings grow
+    // combinatorially with length.
+    int len = static_cast<int>(state.range(0));
+    MultiProgram mp("scaling");
+    for (int p = 0; p < 2; ++p) {
+        ProgramBuilder b;
+        for (int i = 0; i < len; ++i) {
+            b.store(static_cast<Addr>(p * 100 + i), i);
+        }
+        b.halt();
+        mp.addProgram(b.build());
+    }
+    std::uint64_t execs = 0;
+    for (auto _ : state) {
+        std::uint64_t n = 0;
+        forEachExecution(mp, {},
+                         [&](const ExecutionTrace &, const RunResult &,
+                             bool) {
+                             ++n;
+                             return true;
+                         });
+        execs = n;
+        benchmark::DoNotOptimize(n);
+    }
+    state.counters["interleavings"] =
+        benchmark::Counter(static_cast<double>(execs));
+}
+BENCHMARK(BM_ExhaustiveInterleavings)->DenseRange(2, 7);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    // Raw simulator speed: simulated ticks per second of host time.
+    std::uint64_t seed = 1;
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        RandomWorkloadConfig w;
+        w.numProcs = 8;
+        w.numLocks = 4;
+        w.sectionsPerProc = 6;
+        w.seed = seed;
+        MultiProgram mp = randomDrf0Program(w);
+        SystemConfig cfg;
+        cfg.policy = PolicyKind::Def2Drf1;
+        cfg.net.seed = seed++;
+        System sys(mp, cfg);
+        sys.run();
+        total += sys.eventQueue().executed();
+    }
+    state.counters["events"] = benchmark::Counter(
+        static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

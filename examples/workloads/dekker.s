@@ -1,0 +1,14 @@
+; The Figure 1 litmus (Dekker's entry protocol, reduced): under
+; sequential consistency, r0 == 0 on BOTH processors is impossible.
+; This program is racy, so weakly ordered machines promise nothing.
+;
+;   ./asm_runner workloads/dekker.s sc       # never both zero
+;   ./asm_runner workloads/dekker.s relaxed  # can be both zero
+
+P0:
+    store [0], #1   ; X = 1
+    load r0, [1]    ; r0 = Y
+
+P1:
+    store [1], #1   ; Y = 1
+    load r0, [0]    ; r0 = X

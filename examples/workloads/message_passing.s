@@ -1,0 +1,18 @@
+; DRF0 message passing: the producer publishes a datum through a
+; write-only synchronization (Unset); the consumer polls with a
+; read-only synchronization (Test) and then reads the datum.
+;
+;   ./asm_runner workloads/message_passing.s drf0
+
+init [0] = 0        ; the datum
+init [2] = 0        ; the flag (synchronization variable)
+
+P0:
+    store [0], #42
+    unset [2], #1
+
+P1:
+spin:
+    test r0, [2]
+    beq r0, #0, spin
+    load r1, [0]    ; guaranteed to read 42 on conforming hardware

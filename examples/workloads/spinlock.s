@@ -1,0 +1,40 @@
+; Two processors increment a shared counter twice each inside a
+; test-and-test&set lock. DRF0: the counter is exact (== 4) on every
+; conforming implementation.
+;
+;   ./asm_runner workloads/spinlock.s drf1
+
+init [0] = 0        ; the counter (ordinary data)
+init [1] = 0        ; the lock (synchronization variable)
+
+P0:
+    movi r2, #0
+round:
+test_spin:
+    test r0, [1]        ; read-only sync: spin locally
+    bne r0, #0, test_spin
+    tas r0, [1]         ; try to grab it
+    bne r0, #0, test_spin
+    load r1, [0]        ; critical section
+    addi r1, r1, #1
+    store [0], r1
+    unset [1], #0       ; release
+    addi r2, r2, #1
+    bne r2, #2, round
+    halt
+
+P1:
+    movi r2, #0
+round:
+test_spin:
+    test r0, [1]
+    bne r0, #0, test_spin
+    tas r0, [1]
+    bne r0, #0, test_spin
+    load r1, [0]
+    addi r1, r1, #1
+    store [0], r1
+    unset [1], #0
+    addi r2, r2, #1
+    bne r2, #2, round
+    halt

@@ -1,0 +1,526 @@
+#include "coherence/cache.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/logging.hh"
+
+namespace wo {
+
+Cache::Cache(EventQueue &eq, Interconnect &net, StatSet &stats, NodeId node,
+             NodeId dir_base, int num_dirs, const CacheConfig &cfg,
+             std::string name)
+    : eq_(eq), net_(net), stats_(stats), node_(node), dir_base_(dir_base),
+      num_dirs_(num_dirs), cfg_(cfg), name_(std::move(name))
+{
+    net_.attach(node_, [this](const Msg &m) { handle(m); });
+}
+
+bool
+Cache::treatedAsWrite(AccessKind k) const
+{
+    switch (k) {
+      case AccessKind::DataWrite:
+      case AccessKind::SyncWrite:
+      case AccessKind::SyncRmw:
+        return true;
+      case AccessKind::SyncRead:
+        return cfg_.syncReadsAsWrites;
+      case AccessKind::DataRead:
+        return false;
+    }
+    return false;
+}
+
+bool
+Cache::ordersViaReserve(AccessKind k) const
+{
+    if (!isSync(k))
+        return false;
+    // Under the Section 6 refinement, a read-only synchronization cannot
+    // be used to order a processor's previous accesses, so it does not
+    // reserve the line.
+    if (k == AccessKind::SyncRead)
+        return cfg_.syncReadsAsWrites;
+    return true;
+}
+
+int
+Cache::setOf(Addr addr) const
+{
+    return cfg_.numSets > 0 ? static_cast<int>(addr) % cfg_.numSets : 0;
+}
+
+NodeId
+Cache::dirFor(Addr addr) const
+{
+    return dir_base_ + static_cast<NodeId>(addr) % num_dirs_;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    auto it = lines_.find(addr);
+    return it == lines_.end() ? nullptr : &it->second;
+}
+
+void
+Cache::pokeLine(Addr addr, LineState state, Word data)
+{
+    Line l;
+    l.state = state;
+    l.data = data;
+    lines_[addr] = l;
+}
+
+bool
+Cache::peekLine(Addr addr, LineState *state, Word *data) const
+{
+    auto it = lines_.find(addr);
+    if (it == lines_.end())
+        return false;
+    if (state)
+        *state = it->second.state;
+    if (data)
+        *data = it->second.data;
+    return true;
+}
+
+void
+Cache::sendToDir(MsgType type, Addr addr, Word value, bool for_sync)
+{
+    Msg m;
+    m.type = type;
+    m.src = node_;
+    m.dst = dirFor(addr);
+    m.addr = addr;
+    m.value = value;
+    m.forSync = for_sync;
+    net_.send(m);
+}
+
+bool
+Cache::makeRoomFor(Addr addr)
+{
+    if (cfg_.numSets <= 0)
+        return true;
+    int set = setOf(addr);
+    std::vector<Addr> in_set;
+    for (const auto &[a, l] : lines_) {
+        if (setOf(a) == set)
+            in_set.push_back(a);
+    }
+    if (static_cast<int>(in_set.size()) + inflight_fills_[set] < cfg_.ways) {
+        ++inflight_fills_[set];
+        return true;
+    }
+    // Pick the least-recently-used evictable victim. Reserved lines are
+    // never flushed (condition 5); lines with a pending globally-perform
+    // or an open miss are transaction-locked.
+    Addr victim = 0;
+    bool found = false;
+    Tick best = 0;
+    for (Addr a : in_set) {
+        Line &l = lines_[a];
+        if (l.reserved || l.pendingGp || mshrs_.count(a))
+            continue;
+        if (!found || l.lastUse < best) {
+            victim = a;
+            best = l.lastUse;
+            found = true;
+        }
+    }
+    if (!found)
+        return false;
+    Line &v = lines_[victim];
+    if (v.state == LineState::Exclusive) {
+        sendToDir(MsgType::PutX, victim, v.data, false);
+        stats_.inc(name_ + ".writebacks");
+    } else {
+        stats_.inc(name_ + ".silent_drops");
+    }
+    lines_.erase(victim);
+    ++inflight_fills_[set];
+    return true;
+}
+
+void
+Cache::commitOnLine(const CacheOp &op, Line &line, bool gp_now, Tick delay)
+{
+    // The commit happens NOW (the value becomes dispatchable / the local
+    // copy is modified); @p delay only models how long the notification
+    // takes to reach the processor.
+    Word read_value = line.data;
+    if (writesMemory(op.kind))
+        line.data = op.writeValue;
+    if (cfg_.useReserveBits && ordersViaReserve(op.kind) && counter_ > 0) {
+        // The reserve covers exactly the accesses outstanding at this
+        // synchronization's commit: misses numbered below next_miss_seq_.
+        if (!line.reserved) {
+            line.reserved = true;
+            ++reserved_count_;
+            stats_.inc(name_ + ".reserves");
+        }
+        line.reservedUpTo = next_miss_seq_;
+    }
+    assert(client_);
+    std::uint64_t id = op.id;
+    if (!gp_now)
+        line.gpWaiters.push_back(id);
+    if (delay == 0) {
+        client_->opCommitted(id, read_value);
+        if (gp_now)
+            client_->opGloballyPerformed(id);
+    } else {
+        eq_.scheduleAfter(delay, [this, id, read_value, gp_now] {
+            client_->opCommitted(id, read_value);
+            if (gp_now)
+                client_->opGloballyPerformed(id);
+        });
+    }
+}
+
+void
+Cache::access(const CacheOp &op)
+{
+    Line *l = findLine(op.addr);
+    if (l)
+        l->lastUse = eq_.now();
+    bool as_write = treatedAsWrite(op.kind);
+
+    // Hits. Reads commit and are globally performed when the value is
+    // bound; a write landing on a line that still awaits a write-ack for
+    // an earlier write becomes globally performed with that ack.
+    if (l && (!as_write || l->state == LineState::Exclusive)) {
+        stats_.inc(name_ + ".hits");
+        bool gp_now = as_write ? !l->pendingGp : true;
+        commitOnLine(op, *l, gp_now, cfg_.hitLatency);
+        return;
+    }
+
+    // Misses (including upgrades).
+    assert(mshrs_.find(op.addr) == mshrs_.end() &&
+           "processor must order same-address accesses");
+
+    // Section 5.3: bound the misses sent while a line is reserved, so a
+    // stalled remote synchronization is serviced after a bounded number
+    // of counter increments.
+    if (cfg_.maxMissesWhileReserved >= 0 && anyReserved() &&
+        misses_while_reserved_ >= cfg_.maxMissesWhileReserved) {
+        stalled_ops_.push_back(op);
+        stats_.inc(name_ + ".stalled_by_reserve_bound");
+        return;
+    }
+
+    bool upgrade = l && as_write && l->state == LineState::Shared;
+    if (!upgrade) {
+        if (!makeRoomFor(op.addr)) {
+            stalled_ops_.push_back(op);
+            stats_.inc(name_ + ".stalled_by_eviction");
+            return;
+        }
+    }
+
+    ++counter_;
+    stats_.maxOf(name_ + ".counter_max", static_cast<std::uint64_t>(counter_));
+    if (anyReserved())
+        ++misses_while_reserved_;
+    stats_.inc(name_ + ".misses");
+
+    Mshr m;
+    m.seq = next_miss_seq_++;
+    outstanding_miss_seqs_.insert(m.seq);
+    m.op = op;
+    if (upgrade) {
+        m.sent = MsgType::Upgrade;
+    } else if (as_write) {
+        m.sent = MsgType::GetX;
+    } else {
+        m.sent = MsgType::GetS;
+    }
+    mshrs_[op.addr] = m;
+    sendToDir(m.sent, op.addr, 0, isSync(op.kind));
+}
+
+void
+Cache::handle(const Msg &msg)
+{
+    WO_TRACE(eq_, name_, "recv " << msg.toString());
+    switch (msg.type) {
+      case MsgType::Data:
+      case MsgType::DataEx:
+      case MsgType::UpgradeAck:
+        handleFill(msg);
+        break;
+      case MsgType::Inv:
+        handleInv(msg);
+        break;
+      case MsgType::Recall:
+      case MsgType::RecallInv:
+        handleRecall(msg);
+        break;
+      case MsgType::WriteAck:
+        handleWriteAck(msg);
+        break;
+      case MsgType::PutAck:
+        stats_.inc(name_ + ".putacks");
+        break;
+      default:
+        assert(false && "unexpected message at cache");
+    }
+}
+
+void
+Cache::handleFill(const Msg &msg)
+{
+    auto it = mshrs_.find(msg.addr);
+    assert(it != mshrs_.end() && "fill without MSHR");
+    Mshr m = it->second;
+    mshrs_.erase(it);
+
+    if (m.sent != MsgType::Upgrade) {
+        int set = setOf(msg.addr);
+        if (cfg_.numSets > 0 && inflight_fills_[set] > 0)
+            --inflight_fills_[set];
+    }
+
+    switch (msg.type) {
+      case MsgType::Data: {
+        if (m.sent == MsgType::GetS) {
+            // Read miss completes: line arrives shared.
+            Line l;
+            l.state = LineState::Shared;
+            l.data = msg.value;
+            l.lastUse = eq_.now();
+            lines_[msg.addr] = l;
+            commitOnLine(m.op, lines_[msg.addr], true);
+            decrementCounter(m.seq);
+        } else {
+            // Write/sync miss on a previously-shared line: the directory
+            // forwarded the line in parallel with invalidations. Commit
+            // now; globally performed at the WriteAck.
+            Line l;
+            l.state = LineState::Exclusive;
+            l.data = msg.value;
+            l.pendingGp = true;
+            l.pendingGpMissSeq = m.seq;
+            l.lastUse = eq_.now();
+            lines_[msg.addr] = l;
+            commitOnLine(m.op, lines_[msg.addr], false);
+            // Counter decremented by the WriteAck.
+        }
+        break;
+      }
+      case MsgType::DataEx: {
+        // Exclusive data, no invalidations outstanding: commit and
+        // globally performed together.
+        Line l;
+        l.state = LineState::Exclusive;
+        l.data = msg.value;
+        l.lastUse = eq_.now();
+        lines_[msg.addr] = l;
+        commitOnLine(m.op, lines_[msg.addr], true);
+        decrementCounter(m.seq);
+        break;
+      }
+      case MsgType::UpgradeAck: {
+        Line *l = findLine(msg.addr);
+        assert(l && l->state == LineState::Shared &&
+               "upgrade ack without a shared line");
+        l->state = LineState::Exclusive;
+        l->lastUse = eq_.now();
+        if (msg.ackCount > 0) {
+            l->pendingGp = true;
+            l->pendingGpMissSeq = m.seq;
+            commitOnLine(m.op, *l, false);
+        } else {
+            commitOnLine(m.op, *l, true);
+            decrementCounter(m.seq);
+        }
+        break;
+      }
+      default:
+        assert(false);
+    }
+    retryStalled();
+}
+
+void
+Cache::handleInv(const Msg &msg)
+{
+    Line *l = findLine(msg.addr);
+    if (l) {
+        assert(l->state == LineState::Shared &&
+               "invalidation must target a shared copy");
+        assert(!l->reserved && "shared lines are never reserved");
+        lines_.erase(msg.addr);
+        stats_.inc(name_ + ".invalidations");
+    } else {
+        stats_.inc(name_ + ".stale_invalidations");
+    }
+    Msg ack;
+    ack.type = MsgType::InvAck;
+    ack.src = node_;
+    ack.dst = msg.src;
+    ack.addr = msg.addr;
+    if (cfg_.invApplyDelay > 0) {
+        eq_.scheduleAfter(cfg_.invApplyDelay, [this, ack] {
+            net_.send(ack);
+        });
+    } else {
+        net_.send(ack);
+    }
+}
+
+void
+Cache::handleRecall(const Msg &msg)
+{
+    Line *l = findLine(msg.addr);
+    if (!l || l->state != LineState::Exclusive) {
+        // The line was written back; the PutX is ahead of this response
+        // on the FIFO channel to the directory.
+        Msg nack;
+        nack.type = MsgType::RecallNack;
+        nack.src = node_;
+        nack.dst = msg.src;
+        nack.addr = msg.addr;
+        net_.send(nack);
+        stats_.inc(name_ + ".recall_nacks");
+        return;
+    }
+    if (l->reserved) {
+        // Condition 5: a synchronization (or any) request routed to a
+        // reserved line is stalled until the counter reads zero.
+        stalled_recalls_.push_back(msg);
+        stats_.inc(name_ + ".recalls_queued");
+        return;
+    }
+    serviceRecall(msg);
+}
+
+void
+Cache::serviceRecall(const Msg &msg)
+{
+    Line *l = findLine(msg.addr);
+    if (!l || l->state != LineState::Exclusive) {
+        Msg nack;
+        nack.type = MsgType::RecallNack;
+        nack.src = node_;
+        nack.dst = msg.src;
+        nack.addr = msg.addr;
+        net_.send(nack);
+        return;
+    }
+    assert(!l->pendingGp &&
+           "directory serialization forbids recalling a non-GP line");
+    Msg resp;
+    resp.src = node_;
+    resp.dst = msg.src;
+    resp.addr = msg.addr;
+    resp.value = l->data;
+    if (msg.type == MsgType::Recall) {
+        l->state = LineState::Shared;
+        resp.type = MsgType::RecallData;
+    } else {
+        lines_.erase(msg.addr);
+        resp.type = MsgType::RecallInvData;
+    }
+    stats_.inc(name_ + ".recalls_serviced");
+    net_.send(resp);
+}
+
+void
+Cache::handleWriteAck(const Msg &msg)
+{
+    Line *l = findLine(msg.addr);
+    assert(l && l->pendingGp && "write ack without a pending write");
+    l->pendingGp = false;
+    std::vector<std::uint64_t> waiters;
+    waiters.swap(l->gpWaiters);
+    for (std::uint64_t id : waiters)
+        client_->opGloballyPerformed(id);
+    decrementCounter(l->pendingGpMissSeq);
+}
+
+void
+Cache::decrementCounter(std::uint64_t miss_seq)
+{
+    assert(counter_ > 0);
+    --counter_;
+    outstanding_miss_seqs_.erase(miss_seq);
+    updateReservations();
+    if (counter_ == 0)
+        onCounterZero();
+}
+
+void
+Cache::updateReservations()
+{
+    if (reserved_count_ == 0)
+        return;
+    // A reserve clears once every miss generated before its
+    // synchronization committed has completed; later misses (e.g. a sync
+    // miss to another lock) do not hold it — this is what makes the
+    // scheme deadlock-free across multiple synchronization variables.
+    std::uint64_t min_outstanding =
+        outstanding_miss_seqs_.empty() ? ~std::uint64_t{0}
+                                       : *outstanding_miss_seqs_.begin();
+    if (!cfg_.epochReserveClearing && !outstanding_miss_seqs_.empty()) {
+        // Naive mode: reserves persist until the counter reads zero.
+        return;
+    }
+    std::vector<Addr> released;
+    for (auto &[a, l] : lines_) {
+        if (l.reserved && l.reservedUpTo <= min_outstanding) {
+            l.reserved = false;
+            --reserved_count_;
+            released.push_back(a);
+        }
+    }
+    if (reserved_count_ == 0)
+        misses_while_reserved_ = 0;
+    if (released.empty())
+        return;
+    // Service recalls that were queued on the released lines.
+    std::deque<Msg> keep;
+    std::deque<Msg> recalls;
+    recalls.swap(stalled_recalls_);
+    for (const Msg &m : recalls) {
+        bool freed = false;
+        for (Addr a : released) {
+            if (m.addr == a)
+                freed = true;
+        }
+        if (freed)
+            serviceRecall(m);
+        else
+            keep.push_back(m);
+    }
+    stalled_recalls_ = std::move(keep);
+}
+
+void
+Cache::onCounterZero()
+{
+    misses_while_reserved_ = 0;
+    assert(reserved_count_ == 0 &&
+           "updateReservations must have cleared every reserve");
+    // Any recall still queued would belong to a reserved line.
+    assert(stalled_recalls_.empty());
+    retryStalled();
+    if (client_)
+        client_->counterReadsZero();
+}
+
+void
+Cache::retryStalled()
+{
+    if (stalled_ops_.empty())
+        return;
+    std::deque<CacheOp> ops;
+    ops.swap(stalled_ops_);
+    for (const CacheOp &op : ops)
+        access(op);
+}
+
+} // namespace wo

@@ -1,0 +1,327 @@
+#include "coherence/directory.hh"
+
+#include <cassert>
+
+#include "sim/logging.hh"
+
+namespace wo {
+
+Directory::Directory(EventQueue &eq, Interconnect &net, StatSet &stats,
+                     NodeId node, const DirectoryConfig &cfg,
+                     std::string name)
+    : eq_(eq), net_(net), stats_(stats), node_(node), cfg_(cfg),
+      name_(std::move(name))
+{
+    net_.attach(node_, [this](const Msg &m) { handle(m); });
+}
+
+void
+Directory::poke(Addr addr, Word value)
+{
+    lineOf(addr).mem = value;
+}
+
+void
+Directory::pokeShared(Addr addr, const std::set<NodeId> &sharers)
+{
+    Line &l = lineOf(addr);
+    l.st = sharers.empty() ? St::Uncached : St::Shared;
+    l.sharers = sharers;
+    l.owner = -1;
+}
+
+Word
+Directory::peek(Addr addr) const
+{
+    auto it = lines_.find(addr);
+    return it == lines_.end() ? 0 : it->second.mem;
+}
+
+bool
+Directory::idle() const
+{
+    for (const auto &[a, l] : lines_) {
+        if (l.busy || !l.waiting.empty())
+            return false;
+    }
+    return true;
+}
+
+Directory::LineAudit
+Directory::audit(Addr addr) const
+{
+    LineAudit a;
+    auto it = lines_.find(addr);
+    if (it == lines_.end())
+        return a;
+    a.known = true;
+    a.exclusive = it->second.st == St::Exclusive;
+    a.shared = it->second.st == St::Shared;
+    a.owner = it->second.owner;
+    a.sharers = it->second.sharers;
+    a.busy = it->second.busy;
+    return a;
+}
+
+Directory::Line &
+Directory::lineOf(Addr addr)
+{
+    return lines_[addr];
+}
+
+void
+Directory::sendTo(NodeId dst, MsgType type, Addr addr, Word value,
+                  bool for_sync)
+{
+    Msg m;
+    m.type = type;
+    m.src = node_;
+    m.dst = dst;
+    m.addr = addr;
+    m.value = value;
+    m.forSync = for_sync;
+    net_.send(m);
+}
+
+void
+Directory::reply(const Msg &req, MsgType type, Word value, int ack_count)
+{
+    Msg m;
+    m.type = type;
+    m.src = node_;
+    m.dst = req.src;
+    m.addr = req.addr;
+    m.value = value;
+    m.reqId = req.reqId;
+    m.ackCount = ack_count;
+    m.forSync = req.forSync;
+    net_.send(m);
+}
+
+void
+Directory::handle(const Msg &msg)
+{
+    // Model the directory's processing latency; fixed delay preserves
+    // arrival order.
+    Msg m = msg;
+    eq_.scheduleAfter(cfg_.latency, [this, m] { process(m); });
+}
+
+void
+Directory::process(const Msg &msg)
+{
+    WO_TRACE(eq_, name_, "proc " << msg.toString());
+    Line &line = lineOf(msg.addr);
+    switch (msg.type) {
+      case MsgType::GetS:
+      case MsgType::GetX:
+      case MsgType::Upgrade:
+        stats_.inc(name_ + ".requests");
+        if (line.busy) {
+            line.waiting.push_back(msg);
+            stats_.inc(name_ + ".queued");
+        } else {
+            startRequest(line, msg);
+        }
+        break;
+
+      case MsgType::InvAck:
+        assert(line.busy && line.pendingInvAcks > 0 &&
+               "stray invalidation ack");
+        if (--line.pendingInvAcks == 0)
+            finishWrite(line);
+        break;
+
+      case MsgType::RecallData:
+        assert(line.busy && line.waitingRecall);
+        line.waitingRecall = false;
+        line.mem = msg.value;
+        completeRecalled(line, true, msg.src);
+        break;
+
+      case MsgType::RecallInvData:
+        assert(line.busy && line.waitingRecall);
+        line.waitingRecall = false;
+        line.mem = msg.value;
+        completeRecalled(line, false, msg.src);
+        break;
+
+      case MsgType::RecallNack:
+        // The owner's writeback overtook our recall; the PutX (FIFO-ahead
+        // of this nack) already completed that transaction. A new recall
+        // may already be pending — necessarily to a different owner.
+        assert(!(line.waitingRecall && line.owner == msg.src) &&
+               "recall nack from the owner we are waiting on");
+        stats_.inc(name_ + ".recall_nacks");
+        break;
+
+      case MsgType::PutX:
+        if (line.busy && line.waitingRecall && line.owner == msg.src) {
+            // Writeback raced with our recall: use it as the recall
+            // response; the owner gave up its copy.
+            line.waitingRecall = false;
+            line.mem = msg.value;
+            sendTo(msg.src, MsgType::PutAck, msg.addr);
+            completeRecalled(line, false, msg.src);
+        } else {
+            assert(line.st == St::Exclusive && line.owner == msg.src &&
+                   "writeback from a non-owner");
+            line.st = St::Uncached;
+            line.owner = -1;
+            line.mem = msg.value;
+            sendTo(msg.src, MsgType::PutAck, msg.addr);
+            stats_.inc(name_ + ".writebacks");
+        }
+        break;
+
+      default:
+        assert(false && "unexpected message at directory");
+    }
+}
+
+void
+Directory::startRequest(Line &line, const Msg &msg)
+{
+    if (msg.type == MsgType::GetS)
+        startGetS(line, msg);
+    else if (msg.type == MsgType::GetX)
+        startGetX(line, msg);
+    else {
+        // Upgrade: only honored if the requester is still a sharer;
+        // otherwise (it was invalidated while the upgrade was in flight)
+        // fall back to the full GetX path — the requester's MSHR accepts
+        // either response.
+        if (line.st == St::Shared && line.sharers.count(msg.src)) {
+            std::set<NodeId> others = line.sharers;
+            others.erase(msg.src);
+            if (others.empty()) {
+                line.st = St::Exclusive;
+                line.owner = msg.src;
+                line.sharers.clear();
+                reply(msg, MsgType::UpgradeAck, 0, 0);
+            } else {
+                line.busy = true;
+                line.cur = msg;
+                line.pendingInvAcks = static_cast<int>(others.size());
+                reply(msg, MsgType::UpgradeAck, 0,
+                      static_cast<int>(others.size()));
+                for (NodeId n : others)
+                    sendTo(n, MsgType::Inv, msg.addr);
+                stats_.inc(name_ + ".invalidations", others.size());
+            }
+        } else {
+            startGetX(line, msg);
+        }
+    }
+}
+
+void
+Directory::startGetS(Line &line, const Msg &msg)
+{
+    switch (line.st) {
+      case St::Uncached:
+      case St::Shared:
+        line.st = St::Shared;
+        line.sharers.insert(msg.src);
+        reply(msg, MsgType::Data, line.mem);
+        break;
+      case St::Exclusive:
+        assert(line.owner != msg.src && "owner re-requesting its line");
+        line.busy = true;
+        line.cur = msg;
+        line.waitingRecall = true;
+        sendTo(line.owner, MsgType::Recall, msg.addr, 0, msg.forSync);
+        stats_.inc(name_ + ".recalls");
+        break;
+    }
+}
+
+void
+Directory::startGetX(Line &line, const Msg &msg)
+{
+    switch (line.st) {
+      case St::Uncached:
+        line.st = St::Exclusive;
+        line.owner = msg.src;
+        reply(msg, MsgType::DataEx, line.mem);
+        break;
+      case St::Shared: {
+        line.sharers.erase(msg.src); // defensive: requester's copy is gone
+        if (line.sharers.empty()) {
+            line.st = St::Exclusive;
+            line.owner = msg.src;
+            reply(msg, MsgType::DataEx, line.mem);
+            break;
+        }
+        // The paper's protocol: forward the line in parallel with the
+        // invalidations; the final WriteAck marks global performance.
+        line.busy = true;
+        line.cur = msg;
+        line.pendingInvAcks = static_cast<int>(line.sharers.size());
+        reply(msg, MsgType::Data, line.mem);
+        for (NodeId n : line.sharers)
+            sendTo(n, MsgType::Inv, msg.addr);
+        stats_.inc(name_ + ".invalidations", line.sharers.size());
+        break;
+      }
+      case St::Exclusive:
+        assert(line.owner != msg.src && "owner re-requesting its line");
+        line.busy = true;
+        line.cur = msg;
+        line.waitingRecall = true;
+        sendTo(line.owner, MsgType::RecallInv, msg.addr, 0, msg.forSync);
+        stats_.inc(name_ + ".recalls");
+        break;
+    }
+}
+
+void
+Directory::finishWrite(Line &line)
+{
+    // All invalidations acknowledged: the write is globally performed.
+    line.st = St::Exclusive;
+    line.owner = line.cur.src;
+    line.sharers.clear();
+    reply(line.cur, MsgType::WriteAck, 0);
+    completeTransaction(line);
+}
+
+void
+Directory::completeRecalled(Line &line, bool owner_kept_shared_copy,
+                            NodeId responder)
+{
+    const Msg &req = line.cur;
+    if (req.type == MsgType::GetS) {
+        line.st = St::Shared;
+        line.sharers.clear();
+        if (owner_kept_shared_copy)
+            line.sharers.insert(responder);
+        line.sharers.insert(req.src);
+        line.owner = -1;
+        reply(req, MsgType::Data, line.mem);
+    } else {
+        // GetX or demoted Upgrade: ownership transfers wholesale; no
+        // invalidations remain, so the write is globally performed on
+        // arrival of the exclusive line.
+        line.st = St::Exclusive;
+        line.owner = req.src;
+        line.sharers.clear();
+        reply(req, MsgType::DataEx, line.mem);
+    }
+    completeTransaction(line);
+}
+
+void
+Directory::completeTransaction(Line &line)
+{
+    line.busy = false;
+    line.pendingInvAcks = 0;
+    line.waitingRecall = false;
+    while (!line.busy && !line.waiting.empty()) {
+        Msg next = line.waiting.front();
+        line.waiting.pop_front();
+        startRequest(line, next);
+    }
+}
+
+} // namespace wo

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Full-map directory controller for the write-back invalidation protocol
+ * of Section 5.2.
+ *
+ * Per-line behaviour:
+ *  - requests (GetS / GetX / Upgrade) are serialized per line: while a
+ *    transaction is open, later requests queue at the directory — this
+ *    yields the total commit order of writes (condition 2) and of
+ *    synchronization operations (condition 3) per location;
+ *  - a write miss on a line shared in other caches is answered with the
+ *    data immediately, IN PARALLEL with the invalidations (the paper's
+ *    protocol); every invalidated cache acks; when all acks are in, the
+ *    directory sends its write-ack to the requester, making the write
+ *    globally performed;
+ *  - a request for a line exclusive in some cache is forwarded as a
+ *    recall; the recall carries the forSync flag so the owner can apply
+ *    the reserve-bit rule of condition 5.
+ */
+
+#ifndef WO_COHERENCE_DIRECTORY_HH
+#define WO_COHERENCE_DIRECTORY_HH
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+#include "mem/interconnect.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace wo {
+
+/** Configuration of a directory bank. */
+struct DirectoryConfig
+{
+    /** Processing latency per incoming message. */
+    Tick latency = 2;
+};
+
+/** One directory bank (with integrated memory for its lines). */
+class Directory
+{
+  public:
+    Directory(EventQueue &eq, Interconnect &net, StatSet &stats, NodeId node,
+              const DirectoryConfig &cfg, std::string name);
+
+    /** Set backing-store contents (initialization). */
+    void poke(Addr addr, Word value);
+
+    /** Install a warm Shared state with the given sharer set (test and
+     * warm-start setup; the caches must be poked to match). */
+    void pokeShared(Addr addr, const std::set<NodeId> &sharers);
+
+    /** Read the directory's (possibly stale while a line is owned)
+     * backing store. */
+    Word peek(Addr addr) const;
+
+    /** True if no line has an open transaction (quiescence check). */
+    bool idle() const;
+
+    /** Snapshot of one line's directory state, for auditing. */
+    struct LineAudit
+    {
+        bool known = false; ///< the directory has seen this line
+        bool exclusive = false;
+        bool shared = false;
+        NodeId owner = -1;
+        std::set<NodeId> sharers;
+        bool busy = false;
+    };
+
+    /** Audit snapshot of @p addr. */
+    LineAudit audit(Addr addr) const;
+
+    /** Incoming message handler. */
+    void handle(const Msg &msg);
+
+  private:
+    enum class St { Uncached, Shared, Exclusive };
+
+    struct Line
+    {
+        St st = St::Uncached;
+        std::set<NodeId> sharers;
+        NodeId owner = -1;
+        Word mem = 0;
+
+        bool busy = false;
+        Msg cur;                 ///< request being serviced
+        int pendingInvAcks = 0;
+        bool waitingRecall = false;
+        std::deque<Msg> waiting; ///< queued requests
+    };
+
+    void process(const Msg &msg);
+    void startRequest(Line &line, const Msg &msg);
+    void startGetS(Line &line, const Msg &msg);
+    void startGetX(Line &line, const Msg &msg);
+    void finishWrite(Line &line);
+    void completeRecalled(Line &line, bool owner_kept_shared_copy,
+                          NodeId responder);
+    void completeTransaction(Line &line);
+
+    void reply(const Msg &req, MsgType type, Word value, int ack_count = 0);
+    void sendTo(NodeId dst, MsgType type, Addr addr, Word value = 0,
+                bool for_sync = false);
+
+    Line &lineOf(Addr addr);
+
+    EventQueue &eq_;
+    Interconnect &net_;
+    StatSet &stats_;
+    NodeId node_;
+    DirectoryConfig cfg_;
+    std::string name_;
+    std::map<Addr, Line> lines_;
+};
+
+} // namespace wo
+
+#endif // WO_COHERENCE_DIRECTORY_HH

@@ -1,0 +1,1 @@
+#include "consistency/def1_policy.hh"

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The old definition of weak ordering (Dubois, Scheurich and Briggs,
+ * Definition 1):
+ *
+ *  (1) accesses to global synchronizing variables are strongly ordered
+ *      (our directory serializes them and treats them as writes);
+ *  (2) no access to a synchronizing variable is issued before all
+ *      previous global data accesses have been globally performed;
+ *  (3) no access to global data is issued before a previous access to a
+ *      synchronizing variable has been globally performed.
+ *
+ * Data accesses may overlap freely between synchronization points; the
+ * processor stalls *itself* around synchronization operations — the
+ * global manifestation the new definition's implementation avoids.
+ */
+
+#ifndef WO_CONSISTENCY_DEF1_POLICY_HH
+#define WO_CONSISTENCY_DEF1_POLICY_HH
+
+#include "consistency/policy.hh"
+
+namespace wo {
+
+/** Old-style weakly ordered issue discipline. */
+class Def1Policy : public ConsistencyPolicy
+{
+  public:
+    std::string name() const override { return "WO-Def1"; }
+
+    bool
+    mayIssue(AccessKind kind, const ProcState &st) const override
+    {
+        if (isSync(kind)) {
+            // Condition 2: every previous access globally performed.
+            return st.notGloballyPerformed == 0;
+        }
+        // Condition 3: every previous sync globally performed.
+        return st.syncsNotGloballyPerformed == 0;
+    }
+};
+
+} // namespace wo
+
+#endif // WO_CONSISTENCY_DEF1_POLICY_HH

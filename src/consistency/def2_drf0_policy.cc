@@ -1,0 +1,1 @@
+#include "consistency/def2_drf0_policy.hh"

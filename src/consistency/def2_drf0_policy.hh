@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The paper's Section 5 implementation of weak ordering (Definition 2)
+ * with respect to DRF0.
+ *
+ * Processor side (condition 4): a new access is not generated until all
+ * previous synchronization operations are committed — note: *committed*,
+ * not globally performed. The issuing processor never waits for its
+ * pending data accesses at a synchronization point; instead the
+ * cache-side reserve-bit mechanism (condition 5) stalls the *next*
+ * processor that synchronizes on the same location until this processor's
+ * previous reads have committed and writes have been globally performed.
+ */
+
+#ifndef WO_CONSISTENCY_DEF2_DRF0_POLICY_HH
+#define WO_CONSISTENCY_DEF2_DRF0_POLICY_HH
+
+#include "consistency/policy.hh"
+
+namespace wo {
+
+/** New-definition implementation (DRF0 synchronization model). */
+class Def2Drf0Policy : public ConsistencyPolicy
+{
+  public:
+    std::string name() const override { return "WO-Def2-DRF0"; }
+
+    bool
+    mayIssue(AccessKind, const ProcState &st) const override
+    {
+        // Condition 4.
+        return st.syncsNotCommitted == 0;
+    }
+
+    bool requiresCache() const override { return true; }
+    bool syncReadsAsWrites() const override { return true; }
+    bool useReserveBits() const override { return true; }
+};
+
+} // namespace wo
+
+#endif // WO_CONSISTENCY_DEF2_DRF0_POLICY_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The Section 6 refinement of the DRF0 implementation.
+ *
+ * Read-only synchronization operations (Test) are no longer serialized as
+ * writes: the cache treats them as reads and they do not set reserve
+ * bits, so spinning (test-and-test&set, barrier counts) stops ping-
+ * ponging the synchronization line exclusively between spinners. The
+ * trade-off (stated in Section 6): a processor cannot use a read-only
+ * synchronization operation to order its previous accesses with respect
+ * to subsequent synchronization operations of other processors.
+ */
+
+#ifndef WO_CONSISTENCY_DEF2_DRF1_POLICY_HH
+#define WO_CONSISTENCY_DEF2_DRF1_POLICY_HH
+
+#include "consistency/policy.hh"
+
+namespace wo {
+
+/** Refined new-definition implementation (read-only syncs relaxed). */
+class Def2Drf1Policy : public ConsistencyPolicy
+{
+  public:
+    std::string name() const override { return "WO-Def2-DRF1"; }
+
+    bool
+    mayIssue(AccessKind, const ProcState &st) const override
+    {
+        return st.syncsNotCommitted == 0;
+    }
+
+    bool requiresCache() const override { return true; }
+    bool syncReadsAsWrites() const override { return false; }
+    bool useReserveBits() const override { return true; }
+};
+
+} // namespace wo
+
+#endif // WO_CONSISTENCY_DEF2_DRF1_POLICY_HH

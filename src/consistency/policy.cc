@@ -1,0 +1,44 @@
+#include "consistency/policy.hh"
+
+#include <stdexcept>
+
+#include "consistency/def1_policy.hh"
+#include "consistency/def2_drf0_policy.hh"
+#include "consistency/def2_drf1_policy.hh"
+#include "consistency/relaxed_policy.hh"
+#include "consistency/sc_policy.hh"
+
+namespace wo {
+
+std::string
+toString(PolicyKind k)
+{
+    switch (k) {
+      case PolicyKind::Sc: return "SC";
+      case PolicyKind::Def1: return "WO-Def1";
+      case PolicyKind::Def2Drf0: return "WO-Def2-DRF0";
+      case PolicyKind::Def2Drf1: return "WO-Def2-DRF1";
+      case PolicyKind::Relaxed: return "Relaxed";
+    }
+    return "?";
+}
+
+std::unique_ptr<ConsistencyPolicy>
+makePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Sc:
+        return std::make_unique<ScPolicy>();
+      case PolicyKind::Def1:
+        return std::make_unique<Def1Policy>();
+      case PolicyKind::Def2Drf0:
+        return std::make_unique<Def2Drf0Policy>();
+      case PolicyKind::Def2Drf1:
+        return std::make_unique<Def2Drf1Policy>();
+      case PolicyKind::Relaxed:
+        return std::make_unique<RelaxedPolicy>();
+    }
+    throw std::invalid_argument("unknown policy kind");
+}
+
+} // namespace wo

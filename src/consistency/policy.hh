@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Consistency policies: the processor-side issue disciplines that
+ * distinguish the memory models compared in the paper.
+ *
+ * A policy decides, per candidate instruction, whether the processor may
+ * *generate* the access given what is still outstanding — the knob that
+ * separates sequential consistency, Definition 1 weak ordering, and the
+ * two Definition 2 / data-race-free implementations. The matching
+ * cache-side mechanisms (reserve bits, the coherence-level treatment of
+ * read-only synchronization) are selected through the policy's hints.
+ */
+
+#ifndef WO_CONSISTENCY_POLICY_HH
+#define WO_CONSISTENCY_POLICY_HH
+
+#include <memory>
+#include <string>
+
+#include "cpu/isa.hh"
+
+namespace wo {
+
+/** Snapshot of a processor's outstanding-access bookkeeping. */
+struct ProcState
+{
+    /** Issued memory ops not yet committed. */
+    int outstanding = 0;
+
+    /** Issued memory ops not yet globally performed. */
+    int notGloballyPerformed = 0;
+
+    /** Synchronization ops issued but not yet committed. */
+    int syncsNotCommitted = 0;
+
+    /** Synchronization ops issued but not yet globally performed. */
+    int syncsNotGloballyPerformed = 0;
+
+    /** Writes sitting in the write buffer (relaxed systems). */
+    int writeBufferDepth = 0;
+};
+
+/** Abstract issue policy. */
+class ConsistencyPolicy
+{
+  public:
+    virtual ~ConsistencyPolicy() = default;
+
+    /** Short name used in reports ("SC", "WO-Def1", ...). */
+    virtual std::string name() const = 0;
+
+    /** May an access of kind @p kind be generated given @p st? */
+    virtual bool mayIssue(AccessKind kind, const ProcState &st) const = 0;
+
+    /** The policy's mechanisms need a coherent cache (Definition 2
+     * implementations do: reserve bits live in the cache). */
+    virtual bool requiresCache() const { return false; }
+
+    /** Cache hint: treat read-only syncs (Test) as writes (Section 5
+     * example implementation) or as reads (Section 6 refinement). */
+    virtual bool syncReadsAsWrites() const { return true; }
+
+    /** Cache hint: enable the reserve-bit machinery (condition 5). */
+    virtual bool useReserveBits() const { return false; }
+
+    /** Whether a write buffer (reads bypassing pending writes) is legal
+     * under this policy. */
+    virtual bool allowWriteBuffer() const { return false; }
+};
+
+/** Identifiers for the built-in policies. */
+enum class PolicyKind {
+    Sc,       ///< sequential consistency (Scheurich/Dubois condition)
+    Def1,     ///< old weak ordering (Dubois/Scheurich/Briggs Definition 1)
+    Def2Drf0, ///< the paper's Section 5 implementation w.r.t. DRF0
+    Def2Drf1, ///< the Section 6 refinement (read-only syncs relaxed)
+    Relaxed,  ///< no ordering constraints (exhibits Figure 1 violations)
+};
+
+/** Name of a policy kind ("SC", "WO-Def1", ...). */
+std::string toString(PolicyKind k);
+
+/** Factory for built-in policies. */
+std::unique_ptr<ConsistencyPolicy> makePolicy(PolicyKind kind);
+
+} // namespace wo
+
+#endif // WO_CONSISTENCY_POLICY_HH

@@ -1,0 +1,1 @@
+#include "consistency/relaxed_policy.hh"

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * A fully relaxed issue discipline: no inter-access ordering beyond
+ * intra-processor dependencies. With a write buffer enabled, reads pass
+ * buffered writes — the uniprocessor optimizations whose multiprocessor
+ * consequences Figure 1 of the paper illustrates.
+ */
+
+#ifndef WO_CONSISTENCY_RELAXED_POLICY_HH
+#define WO_CONSISTENCY_RELAXED_POLICY_HH
+
+#include "consistency/policy.hh"
+
+namespace wo {
+
+/** No ordering constraints: the "fast but wrong for racy code" extreme. */
+class RelaxedPolicy : public ConsistencyPolicy
+{
+  public:
+    std::string name() const override { return "Relaxed"; }
+
+    bool
+    mayIssue(AccessKind, const ProcState &) const override
+    {
+        return true;
+    }
+
+    bool allowWriteBuffer() const override { return true; }
+};
+
+} // namespace wo
+
+#endif // WO_CONSISTENCY_RELAXED_POLICY_HH

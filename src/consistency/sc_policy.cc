@@ -1,0 +1,1 @@
+#include "consistency/sc_policy.hh"

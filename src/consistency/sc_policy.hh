@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Sequential consistency via the Scheurich/Dubois sufficient condition:
+ * no access is issued until all the processor's previous accesses are
+ * globally performed.
+ */
+
+#ifndef WO_CONSISTENCY_SC_POLICY_HH
+#define WO_CONSISTENCY_SC_POLICY_HH
+
+#include "consistency/policy.hh"
+
+namespace wo {
+
+/** Strict in-order, one-at-a-time issue: the SC baseline. */
+class ScPolicy : public ConsistencyPolicy
+{
+  public:
+    std::string name() const override { return "SC"; }
+
+    bool
+    mayIssue(AccessKind, const ProcState &st) const override
+    {
+        return st.notGloballyPerformed == 0;
+    }
+};
+
+} // namespace wo
+
+#endif // WO_CONSISTENCY_SC_POLICY_HH

@@ -1,0 +1,33 @@
+#include "core/access.hh"
+
+#include <sstream>
+
+namespace wo {
+
+bool
+conflict(const Access &a, const Access &b)
+{
+    if (a.addr != b.addr)
+        return false;
+    return a.writes() || b.writes();
+}
+
+std::string
+Access::toString() const
+{
+    std::ostringstream oss;
+    oss << wo::toString(kind) << "(P";
+    if (proc == kNoProc)
+        oss << "init";
+    else
+        oss << proc;
+    oss << ",[" << addr << "])";
+    if (reads())
+        oss << " ->" << valueRead;
+    if (writes())
+        oss << " <-" << valueWritten;
+    oss << " @c" << commitTick;
+    return oss.str();
+}
+
+} // namespace wo

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Dynamic memory accesses as used by the formal machinery (happens-before,
+ * DRF0 checking, sequential-consistency verification).
+ *
+ * Terminology follows the paper: an access *commits* when a read's return
+ * value is dispatched back towards the processor / a write's value could be
+ * dispatched for some read, and is *globally performed* when its
+ * modification has been propagated to all processors (writes) or when its
+ * value is bound (reads).
+ */
+
+#ifndef WO_CORE_ACCESS_HH
+#define WO_CORE_ACCESS_HH
+
+#include <string>
+
+#include "cpu/isa.hh"
+#include "sim/types.hh"
+
+namespace wo {
+
+/**
+ * One dynamic memory access observed in an execution.
+ *
+ * A read-write synchronization (TestAndSet) is a single access whose read
+ * and write components both appear here (valueRead is the old value,
+ * valueWritten the new one), matching the paper's treatment.
+ */
+struct Access
+{
+    /** Index of this access within its ExecutionTrace. */
+    int id = -1;
+
+    /** Issuing processor; kNoProc for the hypothetical initializing
+     * writes. */
+    ProcId proc = kNoProc;
+
+    /** Dynamic program-order index within the issuing processor. */
+    int poIndex = -1;
+
+    /** Access category (data/sync x read/write/rmw). */
+    AccessKind kind = AccessKind::DataRead;
+
+    /** Location accessed (exactly one, per DRF0's restriction). */
+    Addr addr = 0;
+
+    /** Value returned, when the access has a read component. */
+    Word valueRead = 0;
+
+    /** Value stored, when the access has a write component. */
+    Word valueWritten = 0;
+
+    /** Commit time. */
+    Tick commitTick = kNoTick;
+
+    /** Globally-performed time (kNoTick if still pending at end of run). */
+    Tick gpTick = kNoTick;
+
+    /** True if this access has a read component. */
+    bool reads() const { return readsMemory(kind); }
+
+    /** True if this access has a write component. */
+    bool writes() const { return writesMemory(kind); }
+
+    /** True for synchronization accesses. */
+    bool sync() const { return isSync(kind); }
+
+    /** One-line description for reports. */
+    std::string toString() const;
+};
+
+/**
+ * The paper's conflict relation: two accesses conflict if they access the
+ * same location and they are not both reads.
+ */
+bool conflict(const Access &a, const Access &b);
+
+} // namespace wo
+
+#endif // WO_CORE_ACCESS_HH

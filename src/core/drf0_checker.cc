@@ -1,0 +1,111 @@
+#include "core/drf0_checker.hh"
+
+#include <map>
+#include <sstream>
+
+#include "core/idealized.hh"
+#include "sim/rng.hh"
+
+namespace wo {
+
+Drf0TraceReport
+checkTrace(const ExecutionTrace &trace)
+{
+    Drf0TraceReport report;
+    HappensBefore hb(trace);
+
+    // Group accesses by address; only same-address pairs can conflict.
+    std::map<Addr, std::vector<int>> by_addr;
+    for (const auto &a : trace.accesses())
+        by_addr[a.addr].push_back(a.id);
+
+    for (const auto &[addr, ids] : by_addr) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            for (std::size_t j = i + 1; j < ids.size(); ++j) {
+                const Access &x = trace.at(ids[i]);
+                const Access &y = trace.at(ids[j]);
+                if (!conflict(x, y))
+                    continue;
+                if (!hb.orderedEither(x.id, y.id)) {
+                    report.raceFree = false;
+                    report.races.push_back({x.id, y.id});
+                }
+            }
+        }
+    }
+    return report;
+}
+
+Drf0ProgramReport
+checkProgram(const MultiProgram &program, const Drf0CheckLimits &limits)
+{
+    Drf0ProgramReport report;
+    EnumLimits el;
+    el.maxStepsPerExecution = limits.maxStepsPerExecution;
+    el.maxExecutions = limits.maxExecutions;
+
+    bool exhaustive = forEachExecution(
+        program, el,
+        [&](const ExecutionTrace &trace, const RunResult &, bool) {
+            ++report.executions;
+            Drf0TraceReport tr = checkTrace(trace);
+            if (!tr.raceFree) {
+                report.obeysDrf0 = false;
+                report.witness = trace;
+                report.witnessReport = tr;
+                return false; // one racy witness is enough
+            }
+            return true;
+        });
+    if (!exhaustive && report.obeysDrf0)
+        report.bounded = true;
+    return report;
+}
+
+Drf0ProgramReport
+checkProgramSampled(const MultiProgram &program, int num_schedules,
+                    std::uint64_t seed, int max_steps_per_execution)
+{
+    Drf0ProgramReport report;
+    report.bounded = true;
+    Rng rng(seed);
+    int nprocs = program.numProcs();
+    for (int s = 0; s < num_schedules && report.obeysDrf0; ++s) {
+        IdealizedMachine m(program);
+        int steps = 0;
+        while (!m.allHalted() && steps < max_steps_per_execution) {
+            // Pick a random non-halted processor.
+            ProcId p = static_cast<ProcId>(rng.below(nprocs));
+            while (m.halted(p))
+                p = (p + 1) % nprocs;
+            m.step(p);
+            ++steps;
+        }
+        ++report.executions;
+        Drf0TraceReport tr = checkTrace(m.trace());
+        if (!tr.raceFree) {
+            report.obeysDrf0 = false;
+            report.witness = m.trace();
+            report.witnessReport = tr;
+        }
+    }
+    return report;
+}
+
+std::string
+Drf0TraceReport::toString(const ExecutionTrace &trace) const
+{
+    std::ostringstream oss;
+    if (raceFree) {
+        oss << "race-free (DRF0)";
+        return oss.str();
+    }
+    oss << races.size() << " race(s):\n";
+    for (const auto &r : races) {
+        oss << "  " << trace.at(r.first).toString() << "  ||  "
+            << trace.at(r.second).toString() << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace wo

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The paper's happens-before relation: the irreflexive transitive closure
+ * of program order (po) and synchronization order (so).
+ *
+ * Given an execution trace:
+ *  - op1 po op2  iff both are by the same processor and op1 precedes op2 in
+ *    program order;
+ *  - op1 so op2  iff both are synchronization operations on the same
+ *    location and op1 completes (commits) before op2;
+ *  - hb = (po U so)+.
+ */
+
+#ifndef WO_CORE_HAPPENS_BEFORE_HH
+#define WO_CORE_HAPPENS_BEFORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hh"
+
+namespace wo {
+
+/**
+ * Reachability structure for the happens-before relation of one execution.
+ *
+ * Construction is O(V * E / 64) via bitset propagation over a topological
+ * order of the (po U so) edge DAG. If the edge relation is cyclic (which
+ * cannot happen for executions of the idealized architecture, but can be
+ * constructed artificially), the relation is flagged and queries fall back
+ * to "everything on a cycle is unordered".
+ */
+class HappensBefore
+{
+  public:
+    /** Build the relation for @p trace. */
+    explicit HappensBefore(const ExecutionTrace &trace);
+
+    /** True iff access @p a happens-before access @p b (trace ids). */
+    bool ordered(int a, int b) const;
+
+    /** True iff a hb b or b hb a. */
+    bool orderedEither(int a, int b) const
+    {
+        return ordered(a, b) || ordered(b, a);
+    }
+
+    /** True if po U so was acyclic (a well-formed execution). */
+    bool acyclic() const { return acyclic_; }
+
+    /** Number of accesses covered. */
+    int size() const { return n_; }
+
+    /** The direct (po U so) edges used, as (from, to) pairs. */
+    const std::vector<std::pair<int, int>> &edges() const { return edges_; }
+
+  private:
+    using BitRow = std::vector<std::uint64_t>;
+
+    bool bit(const BitRow &row, int i) const
+    {
+        return (row[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void setBit(BitRow &row, int i) { row[i >> 6] |= 1ull << (i & 63); }
+
+    int n_ = 0;
+    int words_ = 0;
+    bool acyclic_ = true;
+    std::vector<BitRow> reach_; ///< reach_[a] = set of b with a hb b
+    std::vector<std::pair<int, int>> edges_;
+};
+
+} // namespace wo
+
+#endif // WO_CORE_HAPPENS_BEFORE_HH

@@ -1,0 +1,264 @@
+#include "core/sc_verifier.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace wo {
+
+namespace {
+
+/** FNV-1a style hash for memoization keys. */
+struct VecHash
+{
+    std::size_t
+    operator()(const std::vector<std::uint64_t> &v) const
+    {
+        std::uint64_t h = 1469598103934665603ull;
+        for (std::uint64_t x : v) {
+            h ^= x;
+            h *= 1099511628211ull;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+class Search
+{
+  public:
+    Search(const ExecutionTrace &trace, const ScVerifierLimits &limits)
+        : trace_(trace), limits_(limits)
+    {
+        int nprocs = trace.numProcs();
+        for (ProcId p = 0; p < nprocs; ++p)
+            seqs_.push_back(trace.accessesOf(p));
+        idx_.assign(seqs_.size(), 0);
+        for (Addr a : trace.addrs())
+            mem_[a] = trace.initialValue(a);
+        remaining_ = trace.size();
+        // Addresses touched by exactly one processor: accesses to them
+        // commute with everything and are scheduled eagerly.
+        std::map<Addr, ProcId> toucher;
+        for (const auto &a : trace.accesses()) {
+            auto it = toucher.find(a.addr);
+            if (it == toucher.end())
+                toucher[a.addr] = a.proc;
+            else if (it->second != a.proc)
+                it->second = kNoProc; // shared
+        }
+        for (const auto &[addr, p] : toucher) {
+            if (p != kNoProc)
+                private_.insert(addr);
+        }
+    }
+
+    ScReport
+    run()
+    {
+        ScReport report;
+        bool found = dfs(report);
+        report.statesExplored = states_;
+        if (found) {
+            report.verdict = ScVerdict::Sc;
+        } else if (capped_) {
+            report.verdict = ScVerdict::Unknown;
+            report.witnessOrder.clear();
+        } else {
+            report.verdict = ScVerdict::NotSc;
+            report.witnessOrder.clear();
+        }
+        return report;
+    }
+
+  private:
+    std::vector<std::uint64_t>
+    key() const
+    {
+        std::vector<std::uint64_t> k;
+        k.reserve(idx_.size() + mem_.size());
+        for (std::size_t i : idx_)
+            k.push_back(i);
+        for (const auto &[a, v] : mem_)
+            k.push_back(v);
+        return k;
+    }
+
+    void
+    apply(const Access &a, std::size_t p, ScReport &report)
+    {
+        if (a.writes()) {
+            drain_undo_.push_back({a.addr, mem_[a.addr]});
+            mem_[a.addr] = a.valueWritten;
+        } else {
+            drain_undo_.push_back({a.addr, ~Word{0}, false});
+        }
+        ++idx_[p];
+        --remaining_;
+        report.witnessOrder.push_back(a.id);
+    }
+
+    void
+    unapply(std::size_t p, ScReport &report)
+    {
+        const DrainUndo &u = drain_undo_.back();
+        if (u.restore)
+            mem_[u.addr] = u.oldValue;
+        drain_undo_.pop_back();
+        --idx_[p];
+        ++remaining_;
+        report.witnessOrder.pop_back();
+    }
+
+    /**
+     * Eagerly schedule accesses that provably commute with every other
+     * pending access, so the branching search only explores genuinely
+     * conflicting orders:
+     *  - accesses to addresses touched by a single processor (their
+     *    values are interleaving-independent; a mismatching private read
+     *    fails globally);
+     *  - "silent" enabled accesses that leave memory unchanged (e.g. a
+     *    failed TestAndSet spin re-writing the held lock value): moving
+     *    one earlier cannot change any other access's read.
+     *
+     * @return number of accesses drained, or -1 on a global failure.
+     */
+    int
+    drain(ScReport &report)
+    {
+        int drained = 0;
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (std::size_t p = 0; p < seqs_.size(); ++p) {
+                if (idx_[p] >= seqs_[p].size())
+                    continue;
+                const Access &a = trace_.at(seqs_[p][idx_[p]]);
+                bool is_private = private_.count(a.addr) > 0;
+                if (is_private) {
+                    if (a.reads() && mem_[a.addr] != a.valueRead) {
+                        // Private state is deterministic: no
+                        // interleaving can fix this read. Roll back and
+                        // fail the whole branch.
+                        while (drained > 0) {
+                            // Find which proc the top entry belongs to:
+                            // witnessOrder's back id maps to its proc.
+                            const Access &top = trace_.at(
+                                report.witnessOrder.back());
+                            unapply(static_cast<std::size_t>(top.proc),
+                                    report);
+                            --drained;
+                        }
+                        return -1;
+                    }
+                    apply(a, p, report);
+                    ++drained;
+                    progress = true;
+                    continue;
+                }
+                if (a.reads() && mem_[a.addr] != a.valueRead)
+                    continue; // not enabled
+                if (!a.writes() || a.valueWritten == mem_[a.addr]) {
+                    // Silent: enabled and leaves memory unchanged.
+                    apply(a, p, report);
+                    ++drained;
+                    progress = true;
+                }
+            }
+        }
+        return drained;
+    }
+
+    bool
+    dfs(ScReport &report)
+    {
+        int drained = drain(report);
+        if (drained < 0)
+            return false;
+        bool found = dfsBranch(report);
+        if (!found) {
+            while (drained > 0) {
+                const Access &top = trace_.at(report.witnessOrder.back());
+                unapply(static_cast<std::size_t>(top.proc), report);
+                --drained;
+            }
+        }
+        return found;
+    }
+
+    bool
+    dfsBranch(ScReport &report)
+    {
+        if (remaining_ == 0)
+            return true;
+        if (states_ >= limits_.maxStates) {
+            capped_ = true;
+            return false;
+        }
+        if (!visited_.insert(key()).second)
+            return false;
+        ++states_;
+
+        for (std::size_t p = 0; p < seqs_.size(); ++p) {
+            if (idx_[p] >= seqs_[p].size())
+                continue;
+            const Access &a = trace_.at(seqs_[p][idx_[p]]);
+            if (a.reads() && mem_[a.addr] != a.valueRead)
+                continue; // not enabled: read value would be wrong
+            apply(a, p, report);
+            if (dfs(report))
+                return true;
+            unapply(p, report);
+        }
+        return false;
+    }
+
+    struct DrainUndo
+    {
+        Addr addr;
+        Word oldValue;
+        bool restore = true;
+    };
+
+    const ExecutionTrace &trace_;
+    const ScVerifierLimits &limits_;
+    std::vector<std::vector<int>> seqs_;
+    std::vector<std::size_t> idx_;
+    std::map<Addr, Word> mem_;
+    std::set<Addr> private_;
+    std::vector<DrainUndo> drain_undo_;
+    int remaining_ = 0;
+    std::uint64_t states_ = 0;
+    bool capped_ = false;
+    std::unordered_set<std::vector<std::uint64_t>, VecHash> visited_;
+};
+
+} // namespace
+
+ScReport
+verifySc(const ExecutionTrace &trace, const ScVerifierLimits &limits)
+{
+    Search s(trace, limits);
+    return s.run();
+}
+
+std::string
+ScReport::toString() const
+{
+    std::ostringstream oss;
+    switch (verdict) {
+      case ScVerdict::Sc:
+        oss << "SC (witness of " << witnessOrder.size() << " accesses, "
+            << statesExplored << " states)";
+        break;
+      case ScVerdict::NotSc:
+        oss << "NOT SC (exhausted " << statesExplored << " states)";
+        break;
+      case ScVerdict::Unknown:
+        oss << "UNKNOWN (state cap hit at " << statesExplored << ")";
+        break;
+    }
+    return oss.str();
+}
+
+} // namespace wo

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Sequential-consistency verification of recorded executions.
+ *
+ * Given the per-processor program-ordered sequences of dynamic accesses of
+ * one execution (with the values reads returned), decide whether there
+ * exists a single total order of all accesses, consistent with every
+ * processor's program order, in which each read returns the value of the
+ * most recent preceding write to the same location (or the initial value).
+ *
+ * This is Lamport's definition operationalized, and is the check the new
+ * definition of weak ordering (Definition 2) requires: hardware must
+ * "appear sequentially consistent" to conforming software, i.e. every
+ * execution it produces for such software must pass this verifier.
+ *
+ * The search is a memoized backtracking exploration over frontier states
+ * (one index per processor + current memory contents). Deciding this
+ * problem is NP-hard in general, but litmus- and workload-sized executions
+ * verify quickly; a state cap makes the verifier return Unknown rather
+ * than run away.
+ */
+
+#ifndef WO_CORE_SC_VERIFIER_HH
+#define WO_CORE_SC_VERIFIER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trace.hh"
+
+namespace wo {
+
+/** Verdict of the SC verifier. */
+enum class ScVerdict {
+    Sc,      ///< a witness total order exists
+    NotSc,   ///< exhaustively shown: no total order explains the execution
+    Unknown, ///< state cap exceeded before a verdict was reached
+};
+
+/** Outcome of verifying one execution. */
+struct ScReport
+{
+    ScVerdict verdict = ScVerdict::Unknown;
+
+    /** Witness: trace ids in a legal total order (when verdict == Sc). */
+    std::vector<int> witnessOrder;
+
+    /** Distinct search states explored. */
+    std::uint64_t statesExplored = 0;
+
+    bool sc() const { return verdict == ScVerdict::Sc; }
+
+    std::string toString() const;
+};
+
+/** Limits for the verifier's search. */
+struct ScVerifierLimits
+{
+    std::uint64_t maxStates = 20000000;
+};
+
+/**
+ * Check whether @p trace has a sequentially consistent explanation.
+ *
+ * Initial memory values are taken from the trace's initials (default 0).
+ */
+ScReport verifySc(const ExecutionTrace &trace,
+                  const ScVerifierLimits &limits = {});
+
+} // namespace wo
+
+#endif // WO_CORE_SC_VERIFIER_HH

@@ -1,0 +1,116 @@
+#include "core/trace.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace wo {
+
+int
+ExecutionTrace::add(Access a)
+{
+    a.id = static_cast<int>(accesses_.size());
+    accesses_.push_back(a);
+    return a.id;
+}
+
+int
+ExecutionTrace::numProcs() const
+{
+    int m = 0;
+    for (const auto &a : accesses_)
+        m = std::max(m, a.proc + 1);
+    return m;
+}
+
+std::vector<int>
+ExecutionTrace::accessesOf(ProcId proc) const
+{
+    std::vector<int> ids;
+    for (const auto &a : accesses_) {
+        if (a.proc == proc)
+            ids.push_back(a.id);
+    }
+    std::sort(ids.begin(), ids.end(), [this](int x, int y) {
+        return accesses_[x].poIndex < accesses_[y].poIndex;
+    });
+    return ids;
+}
+
+std::vector<int>
+ExecutionTrace::syncsAt(Addr addr) const
+{
+    std::vector<int> ids;
+    for (const auto &a : accesses_) {
+        if (a.sync() && a.addr == addr)
+            ids.push_back(a.id);
+    }
+    std::sort(ids.begin(), ids.end(), [this](int x, int y) {
+        const Access &ax = accesses_[x];
+        const Access &ay = accesses_[y];
+        if (ax.commitTick != ay.commitTick)
+            return ax.commitTick < ay.commitTick;
+        return x < y;
+    });
+    return ids;
+}
+
+std::vector<Addr>
+ExecutionTrace::addrs() const
+{
+    std::set<Addr> s;
+    for (const auto &a : accesses_)
+        s.insert(a.addr);
+    return {s.begin(), s.end()};
+}
+
+void
+ExecutionTrace::setInitial(Addr addr, Word value)
+{
+    initials_[addr] = value;
+}
+
+Word
+ExecutionTrace::initialValue(Addr addr) const
+{
+    auto it = initials_.find(addr);
+    return it == initials_.end() ? 0 : it->second;
+}
+
+std::string
+ExecutionTrace::toString() const
+{
+    std::ostringstream oss;
+    for (const auto &a : accesses_)
+        oss << "  #" << a.id << " " << a.toString() << '\n';
+    return oss.str();
+}
+
+std::string
+RunResult::toString() const
+{
+    std::ostringstream oss;
+    oss << "mem{";
+    bool first = true;
+    for (const auto &[a, v] : finalMemory) {
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << "[" << a << "]=" << v;
+    }
+    oss << "} regs{";
+    for (std::size_t p = 0; p < registers.size(); ++p) {
+        if (p)
+            oss << ";";
+        oss << "P" << p << ":";
+        for (std::size_t r = 0; r < registers[p].size(); ++r) {
+            if (r)
+                oss << ",";
+            oss << registers[p][r];
+        }
+    }
+    oss << "}" << (allHalted ? "" : " (not halted)");
+    return oss.str();
+}
+
+} // namespace wo

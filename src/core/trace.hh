@@ -1,0 +1,118 @@
+/**
+ * @file
+ * ExecutionTrace: the record of one execution's dynamic memory accesses,
+ * plus RunResult: the paper's notion of the "result" of an execution.
+ */
+
+#ifndef WO_CORE_TRACE_HH
+#define WO_CORE_TRACE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/access.hh"
+#include "sim/types.hh"
+
+namespace wo {
+
+/**
+ * All dynamic memory accesses of one execution.
+ *
+ * Accesses are stored in the order they were recorded (commit order for the
+ * hardware simulator, execution order for the idealized architecture).
+ * Initializing writes are modelled implicitly: every location starts at an
+ * initial value, ordered before all program accesses — exactly the paper's
+ * hypothetical initializing write + synchronization preamble.
+ */
+class ExecutionTrace
+{
+  public:
+    ExecutionTrace() = default;
+
+    /** Append an access; assigns and returns its trace id. */
+    int add(Access a);
+
+    /** Number of accesses. */
+    int size() const { return static_cast<int>(accesses_.size()); }
+
+    /** Access by trace id. */
+    const Access &at(int id) const { return accesses_.at(id); }
+
+    /** Mutable access (the simulator patches gp times in later). */
+    Access &mutableAt(int id) { return accesses_.at(id); }
+
+    /** All accesses. */
+    const std::vector<Access> &accesses() const { return accesses_; }
+
+    /** Remove the most recently added access (backtracking support). */
+    void popLast() { accesses_.pop_back(); }
+
+    /** Number of processors appearing in the trace. */
+    int numProcs() const;
+
+    /** Trace ids of @p proc's accesses, sorted by program order. */
+    std::vector<int> accessesOf(ProcId proc) const;
+
+    /** Trace ids of synchronization accesses to @p addr, sorted by commit
+     * time (ties broken by trace order). */
+    std::vector<int> syncsAt(Addr addr) const;
+
+    /** Distinct addresses appearing in the trace. */
+    std::vector<Addr> addrs() const;
+
+    /** Set the initial value of a location. */
+    void setInitial(Addr addr, Word value);
+
+    /** Initial value of @p addr (default 0). */
+    Word initialValue(Addr addr) const;
+
+    /** All explicitly-set initial values. */
+    const std::map<Addr, Word> &initials() const { return initials_; }
+
+    /** Multi-line dump for debugging and reports. */
+    std::string toString() const;
+
+  private:
+    std::vector<Access> accesses_;
+    std::map<Addr, Word> initials_;
+};
+
+/**
+ * The observable outcome of an execution: the values returned by reads are
+ * summarized by the final architectural state (registers), together with
+ * the final state of memory — the two components of the paper's "result".
+ */
+struct RunResult
+{
+    /** Final memory values over the touched addresses. */
+    std::map<Addr, Word> finalMemory;
+
+    /** Final register values, one vector per processor. */
+    std::vector<std::vector<Word>> registers;
+
+    /** True if every processor reached Halt. */
+    bool allHalted = false;
+
+    bool operator==(const RunResult &o) const
+    {
+        return finalMemory == o.finalMemory && registers == o.registers &&
+               allHalted == o.allHalted;
+    }
+
+    bool operator<(const RunResult &o) const
+    {
+        if (finalMemory != o.finalMemory)
+            return finalMemory < o.finalMemory;
+        if (registers != o.registers)
+            return registers < o.registers;
+        return allHalted < o.allHalted;
+    }
+
+    /** One-line description. */
+    std::string toString() const;
+};
+
+} // namespace wo
+
+#endif // WO_CORE_TRACE_HH

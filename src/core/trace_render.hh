@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Render an execution trace in the paper's Figure 2 layout: one column
+ * per processor, time flowing downward, each access placed at the row of
+ * its commit time.
+ */
+
+#ifndef WO_CORE_TRACE_RENDER_HH
+#define WO_CORE_TRACE_RENDER_HH
+
+#include <string>
+
+#include "core/trace.hh"
+
+namespace wo {
+
+/** Options for trace rendering. */
+struct RenderOptions
+{
+    /** Collapse empty time gaps longer than this many rows. */
+    int maxGap = 2;
+
+    /** Column width per processor. */
+    int columnWidth = 14;
+
+    /** Annotate each row with the commit tick. */
+    bool showTicks = true;
+};
+
+/**
+ * Render @p trace as per-processor columns over time (commit order),
+ * like the paper's Figure 2.
+ */
+std::string renderColumns(const ExecutionTrace &trace,
+                          const RenderOptions &opts = {});
+
+} // namespace wo
+
+#endif // WO_CORE_TRACE_RENDER_HH

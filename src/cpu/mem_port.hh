@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The processor's view of the memory system.
+ *
+ * Both the coherent cache and the uncached network port implement MemPort;
+ * the processor issues CacheOps and receives commit / globally-performed
+ * callbacks through the CacheClient interface.
+ */
+
+#ifndef WO_CPU_MEM_PORT_HH
+#define WO_CPU_MEM_PORT_HH
+
+#include <cstdint>
+
+#include "cpu/isa.hh"
+#include "sim/types.hh"
+
+namespace wo {
+
+/** One processor-issued memory operation handed to the memory system. */
+struct CacheOp
+{
+    std::uint64_t id = 0; ///< processor-side operation id
+    AccessKind kind = AccessKind::DataRead;
+    Addr addr = 0;
+    Word writeValue = 0; ///< for accesses with a write component
+};
+
+/** Callbacks from the memory system to its processor. */
+class CacheClient
+{
+  public:
+    virtual ~CacheClient() = default;
+
+    /** The operation committed; @p read_value is valid for accesses with
+     * a read component. */
+    virtual void opCommitted(std::uint64_t id, Word read_value) = 0;
+
+    /** The operation is globally performed. */
+    virtual void opGloballyPerformed(std::uint64_t id) = 0;
+
+    /** The outstanding-access counter just reached zero. */
+    virtual void counterReadsZero() {}
+};
+
+/** Abstract memory-side port used by a Processor. */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /** Register the callback sink. */
+    virtual void setPortClient(CacheClient *c) = 0;
+
+    /** Issue one memory operation. */
+    virtual void request(const CacheOp &op) = 0;
+};
+
+} // namespace wo
+
+#endif // WO_CPU_MEM_PORT_HH

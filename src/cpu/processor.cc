@@ -1,0 +1,358 @@
+#include "cpu/processor.hh"
+
+#include <cassert>
+
+#include "sim/logging.hh"
+
+namespace wo {
+
+Processor::Processor(EventQueue &eq, StatSet &stats, ProcId id,
+                     const Program &program, MemPort &port,
+                     const ConsistencyPolicy &policy, ExecutionTrace *trace,
+                     const ProcessorConfig &cfg)
+    : eq_(eq), stats_(stats), id_(id), program_(program), port_(port),
+      policy_(policy), trace_(trace), cfg_(cfg),
+      name_("proc" + std::to_string(id))
+{
+    int nregs = std::max(program.maxRegister() + 1, 1);
+    regs_.assign(nregs, 0);
+    reg_busy_.assign(nregs, false);
+    assert((!cfg_.useWriteBuffer || policy_.allowWriteBuffer()) &&
+           "write buffer is illegal under this consistency policy");
+    port_.setPortClient(this);
+}
+
+void
+Processor::start()
+{
+    if (program_.size() == 0) {
+        halted_ = true;
+        halt_tick_ = eq_.now();
+        return;
+    }
+    scheduleAdvance(0);
+}
+
+bool
+Processor::quiescent() const
+{
+    return ops_.empty() && write_buffer_.empty() && !wb_drain_in_flight_;
+}
+
+void
+Processor::scheduleAdvance(Tick delay)
+{
+    if (advance_scheduled_ || halted_)
+        return;
+    advance_scheduled_ = true;
+    eq_.scheduleAfter(delay, [this] {
+        advance_scheduled_ = false;
+        tryAdvance();
+    });
+}
+
+void
+Processor::noteStall()
+{
+    if (stall_since_ == kNoTick)
+        stall_since_ = eq_.now();
+}
+
+void
+Processor::noteProgress()
+{
+    if (stall_since_ != kNoTick) {
+        stall_cycles_ += eq_.now() - stall_since_;
+        stall_since_ = kNoTick;
+    }
+}
+
+ProcState
+Processor::snapshot() const
+{
+    ProcState st;
+    st.outstanding = outstanding_;
+    st.notGloballyPerformed = not_gp_;
+    st.syncsNotCommitted = syncs_not_committed_;
+    st.syncsNotGloballyPerformed = syncs_not_gp_;
+    st.writeBufferDepth = static_cast<int>(write_buffer_.size());
+    return st;
+}
+
+int
+Processor::recordTraceAccess(AccessKind kind, Addr addr, Word write_value)
+{
+    if (!trace_)
+        return -1;
+    Access a;
+    a.proc = id_;
+    a.poIndex = mem_op_index_++;
+    a.kind = kind;
+    a.addr = addr;
+    a.valueWritten = write_value;
+    return trace_->add(a);
+}
+
+void
+Processor::tryAdvance()
+{
+    if (halted_)
+        return;
+    if (pc_ >= program_.size()) {
+        halted_ = true;
+        halt_tick_ = eq_.now();
+        return;
+    }
+    const Instruction &insn = program_.at(pc_);
+    switch (insn.op) {
+      case Opcode::Movi:
+        if (regBusy(insn.dst)) {
+            noteStall();
+            return;
+        }
+        regs_[insn.dst] = insn.imm;
+        break;
+      case Opcode::Addi:
+        if (regBusy(insn.src) || regBusy(insn.dst)) {
+            noteStall();
+            return;
+        }
+        regs_[insn.dst] = regs_[insn.src] + insn.imm;
+        break;
+      case Opcode::Nop:
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+        if (regBusy(insn.src)) {
+            noteStall();
+            return;
+        }
+        break;
+      case Opcode::Fence:
+        // RP3-style fence: wait for every previous access (including
+        // buffered writes) to be globally performed.
+        if (not_gp_ > 0 || !write_buffer_.empty() ||
+            wb_drain_in_flight_) {
+            noteStall();
+            return;
+        }
+        break;
+      case Opcode::Halt:
+        noteProgress();
+        halted_ = true;
+        halt_tick_ = eq_.now();
+        ++instructions_;
+        return;
+      default: // memory operations
+        if (!issueMemOp(insn)) {
+            noteStall();
+            return;
+        }
+        break;
+    }
+    noteProgress();
+    ++instructions_;
+    stats_.inc(name_ + ".instructions");
+
+    // Advance the pc.
+    if (insn.op == Opcode::Beq && regs_[insn.src] == insn.imm) {
+        pc_ = insn.target;
+    } else if (insn.op == Opcode::Bne && regs_[insn.src] != insn.imm) {
+        pc_ = insn.target;
+    } else {
+        ++pc_;
+    }
+    scheduleAdvance(cfg_.cycle);
+}
+
+bool
+Processor::issueMemOp(const Instruction &insn)
+{
+    AccessKind kind = insn.accessKind();
+    bool is_write_like = writesMemory(kind);
+    bool needs_src =
+        (insn.op == Opcode::Store || insn.op == Opcode::SyncWrite) &&
+        insn.src >= 0;
+    if (needs_src && regBusy(insn.src))
+        return false;
+    if (readsMemory(kind) && regBusy(insn.dst))
+        return false;
+
+    Word write_value = 0;
+    if (is_write_like) {
+        if (insn.op == Opcode::TestAndSet)
+            write_value = insn.imm;
+        else
+            write_value = insn.src >= 0 ? regs_[insn.src] : insn.imm;
+    }
+
+    // Write-buffer fast paths (Relaxed policy only).
+    if (cfg_.useWriteBuffer) {
+        if (kind == AccessKind::DataWrite) {
+            std::uint64_t id = nextId();
+            OpRecord rec;
+            rec.kind = kind;
+            rec.addr = insn.addr;
+            rec.committed = true; // architecturally complete at insert
+            rec.fromWriteBuffer = true;
+            rec.traceId = recordTraceAccess(kind, insn.addr, write_value);
+            if (trace_ && rec.traceId >= 0)
+                trace_->mutableAt(rec.traceId).commitTick = eq_.now();
+            ops_[id] = rec;
+            ++not_gp_;
+            write_buffer_.push_back({id, insn.addr, write_value,
+                                     eq_.now()});
+            stats_.inc(name_ + ".wb_inserts");
+            drainWriteBuffer();
+            return true;
+        }
+        if (kind == AccessKind::DataRead) {
+            // Forward the youngest buffered write to the same address.
+            for (auto it = write_buffer_.rbegin();
+                 it != write_buffer_.rend(); ++it) {
+                if (it->addr == insn.addr) {
+                    regs_[insn.dst] = it->value;
+                    int tid = recordTraceAccess(kind, insn.addr, 0);
+                    if (trace_ && tid >= 0) {
+                        Access &a = trace_->mutableAt(tid);
+                        a.valueRead = it->value;
+                        a.commitTick = eq_.now();
+                        a.gpTick = eq_.now();
+                    }
+                    stats_.inc(name_ + ".wb_forwards");
+                    return true;
+                }
+            }
+            // No match: the read bypasses all buffered writes and issues.
+        }
+        if (isSync(kind) &&
+            (!write_buffer_.empty() || wb_drain_in_flight_)) {
+            return false; // synchronization drains the buffer first
+        }
+    }
+
+    // Ordinary issue.
+    if (addr_blocked_.count(insn.addr))
+        return false; // same-address ordering (condition 1)
+    if (outstanding_ >= cfg_.maxOutstanding)
+        return false;
+    if (!policy_.mayIssue(kind, snapshot())) {
+        stats_.inc(name_ + ".policy_stalls");
+        return false;
+    }
+
+    std::uint64_t id = nextId();
+    OpRecord rec;
+    rec.kind = kind;
+    rec.addr = insn.addr;
+    rec.destReg = readsMemory(kind) ? insn.dst : -1;
+    rec.traceId = recordTraceAccess(kind, insn.addr, write_value);
+    ops_[id] = rec;
+
+    ++outstanding_;
+    ++not_gp_;
+    if (isSync(kind)) {
+        ++syncs_not_committed_;
+        ++syncs_not_gp_;
+    }
+    addr_blocked_.insert(insn.addr);
+    if (rec.destReg >= 0)
+        reg_busy_[rec.destReg] = true;
+
+    stats_.inc(name_ + ".mem_ops");
+    CacheOp op;
+    op.id = id;
+    op.kind = kind;
+    op.addr = insn.addr;
+    op.writeValue = write_value;
+    port_.request(op);
+    return true;
+}
+
+void
+Processor::drainWriteBuffer()
+{
+    if (wb_drain_in_flight_ || write_buffer_.empty())
+        return;
+    const WbEntry &head = write_buffer_.front();
+    wb_drain_in_flight_ = true;
+    CacheOp op;
+    op.id = head.id;
+    op.kind = AccessKind::DataWrite;
+    op.addr = head.addr;
+    op.writeValue = head.value;
+    Tick ready = head.insertTick + cfg_.wbDrainDelay;
+    Tick delay = ready > eq_.now() ? ready - eq_.now() : 0;
+    if (delay == 0) {
+        port_.request(op);
+    } else {
+        eq_.scheduleAfter(delay, [this, op] { port_.request(op); });
+    }
+}
+
+void
+Processor::opCommitted(std::uint64_t id, Word read_value)
+{
+    auto it = ops_.find(id);
+    assert(it != ops_.end() && "commit for unknown op");
+    OpRecord &rec = it->second;
+
+    if (rec.fromWriteBuffer) {
+        // The head drain reached the cache; release the buffer slot.
+        assert(!write_buffer_.empty() && write_buffer_.front().id == id);
+        write_buffer_.pop_front();
+        wb_drain_in_flight_ = false;
+        drainWriteBuffer();
+        if (rec.gp) // GP raced ahead of the commit notification
+            ops_.erase(it);
+        scheduleAdvance(0);
+        return;
+    }
+
+    assert(!rec.committed);
+    rec.committed = true;
+    --outstanding_;
+    if (isSync(rec.kind))
+        --syncs_not_committed_;
+    addr_blocked_.erase(rec.addr);
+    if (rec.destReg >= 0) {
+        regs_[rec.destReg] = read_value;
+        reg_busy_[rec.destReg] = false;
+    }
+    if (trace_ && rec.traceId >= 0) {
+        Access &a = trace_->mutableAt(rec.traceId);
+        a.commitTick = eq_.now();
+        if (readsMemory(rec.kind))
+            a.valueRead = read_value;
+    }
+    if (rec.gp)
+        ops_.erase(it);
+    scheduleAdvance(0);
+}
+
+void
+Processor::opGloballyPerformed(std::uint64_t id)
+{
+    auto it = ops_.find(id);
+    assert(it != ops_.end() && "gp for unknown op");
+    OpRecord &rec = it->second;
+    assert(!rec.gp);
+    rec.gp = true;
+    --not_gp_;
+    if (isSync(rec.kind))
+        --syncs_not_gp_;
+    if (trace_ && rec.traceId >= 0)
+        trace_->mutableAt(rec.traceId).gpTick = eq_.now();
+    bool done = rec.committed;
+    if (done)
+        ops_.erase(it);
+    scheduleAdvance(0);
+}
+
+void
+Processor::counterReadsZero()
+{
+    scheduleAdvance(0);
+}
+
+} // namespace wo

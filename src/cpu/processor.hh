@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The simulated processor: executes one Program, issuing memory accesses
+ * through a MemPort under the control of a ConsistencyPolicy.
+ *
+ * Intra-processor dependencies (condition 1 of Section 5.1) are always
+ * preserved: register data dependencies via a scoreboard, and
+ * same-address memory ordering by blocking a new access to a location
+ * while an earlier access to it is uncommitted.
+ *
+ * An optional write buffer (legal only under the Relaxed policy) lets
+ * reads bypass buffered writes — the classic uniprocessor optimization
+ * whose effect on multiprocessors Figure 1 of the paper illustrates.
+ */
+
+#ifndef WO_CPU_PROCESSOR_HH
+#define WO_CPU_PROCESSOR_HH
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "consistency/policy.hh"
+#include "core/trace.hh"
+#include "cpu/mem_port.hh"
+#include "cpu/program.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace wo {
+
+/** Processor configuration. */
+struct ProcessorConfig
+{
+    /** Enable the store buffer (reads pass pending writes). Only legal
+     * when the policy allows it. */
+    bool useWriteBuffer = false;
+
+    /** Minimum residence of a write in the buffer before it drains to the
+     * memory system (models waiting for an idle bus slot); this is what
+     * actually lets a subsequent read overtake the write. */
+    Tick wbDrainDelay = 6;
+
+    /** Max memory ops issued to the port and not yet committed. */
+    int maxOutstanding = 8;
+
+    /** Cycle time: one instruction dispatched per cycle. */
+    Tick cycle = 1;
+};
+
+/** One simulated processor. */
+class Processor : public CacheClient
+{
+  public:
+    Processor(EventQueue &eq, StatSet &stats, ProcId id,
+              const Program &program, MemPort &port,
+              const ConsistencyPolicy &policy, ExecutionTrace *trace,
+              const ProcessorConfig &cfg);
+
+    /** Kick off execution (schedules the first dispatch). */
+    void start();
+
+    /** True once the Halt instruction retired. */
+    bool halted() const { return halted_; }
+
+    /** Tick at which Halt retired (kNoTick while running). */
+    Tick haltTick() const { return halt_tick_; }
+
+    /** Architectural registers. */
+    const std::vector<Word> &registers() const { return regs_; }
+
+    /** Cycles this processor spent unable to dispatch. */
+    Tick stallCycles() const { return stall_cycles_; }
+
+    /** Dynamic instructions retired. */
+    std::uint64_t instructions() const { return instructions_; }
+
+    /** True when no issued op is still outstanding (all committed and
+     * globally performed) and the write buffer is empty. */
+    bool quiescent() const;
+
+    // CacheClient interface.
+    void opCommitted(std::uint64_t id, Word read_value) override;
+    void opGloballyPerformed(std::uint64_t id) override;
+    void counterReadsZero() override;
+
+  private:
+    struct OpRecord
+    {
+        int traceId = -1;
+        AccessKind kind = AccessKind::DataRead;
+        Addr addr = 0;
+        int destReg = -1;
+        bool committed = false;
+        bool gp = false;
+        bool fromWriteBuffer = false;
+    };
+
+    struct WbEntry
+    {
+        std::uint64_t id;
+        Addr addr;
+        Word value;
+        Tick insertTick;
+    };
+
+    void scheduleAdvance(Tick delay);
+    void tryAdvance();
+    bool issueMemOp(const Instruction &insn);
+    void drainWriteBuffer();
+    void noteStall();
+    void noteProgress();
+    ProcState snapshot() const;
+    bool regBusy(int r) const { return r >= 0 && reg_busy_[r]; }
+    std::uint64_t nextId() { return ++last_id_; }
+    int recordTraceAccess(AccessKind kind, Addr addr, Word write_value);
+
+    EventQueue &eq_;
+    StatSet &stats_;
+    ProcId id_;
+    const Program &program_;
+    MemPort &port_;
+    const ConsistencyPolicy &policy_;
+    ExecutionTrace *trace_;
+    ProcessorConfig cfg_;
+    std::string name_;
+
+    int pc_ = 0;
+    std::vector<Word> regs_;
+    std::vector<bool> reg_busy_;
+    bool halted_ = false;
+    Tick halt_tick_ = kNoTick;
+
+    std::map<std::uint64_t, OpRecord> ops_;
+    std::set<Addr> addr_blocked_;
+    std::deque<WbEntry> write_buffer_;
+    bool wb_drain_in_flight_ = false;
+
+    int outstanding_ = 0;
+    int not_gp_ = 0;
+    int syncs_not_committed_ = 0;
+    int syncs_not_gp_ = 0;
+
+    std::uint64_t last_id_ = 0;
+    int mem_op_index_ = 0;
+    bool advance_scheduled_ = false;
+    Tick stall_since_ = kNoTick;
+    Tick stall_cycles_ = 0;
+    std::uint64_t instructions_ = 0;
+};
+
+} // namespace wo
+
+#endif // WO_CPU_PROCESSOR_HH

@@ -1,0 +1,102 @@
+#include "cpu/program.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace wo {
+
+int
+Program::maxRegister() const
+{
+    int m = -1;
+    for (const auto &i : code_) {
+        m = std::max(m, i.dst);
+        m = std::max(m, i.src);
+    }
+    return m;
+}
+
+std::vector<Addr>
+Program::touchedAddrs() const
+{
+    std::set<Addr> s;
+    for (const auto &i : code_) {
+        if (i.isMemOp())
+            s.insert(i.addr);
+    }
+    return {s.begin(), s.end()};
+}
+
+std::string
+Program::toString() const
+{
+    std::ostringstream oss;
+    for (int pc = 0; pc < size(); ++pc)
+        oss << "  " << pc << ": " << code_[pc].toString() << '\n';
+    return oss.str();
+}
+
+ProcId
+MultiProgram::addProgram(Program p)
+{
+    programs_.push_back(std::move(p));
+    return static_cast<ProcId>(programs_.size()) - 1;
+}
+
+Word
+MultiProgram::initialValue(Addr addr) const
+{
+    for (const auto &[a, v] : initials_) {
+        if (a == addr)
+            return v;
+    }
+    return 0;
+}
+
+void
+MultiProgram::setInitial(Addr addr, Word value)
+{
+    for (auto &[a, v] : initials_) {
+        if (a == addr) {
+            v = value;
+            return;
+        }
+    }
+    initials_.emplace_back(addr, value);
+}
+
+int
+MultiProgram::numRegisters() const
+{
+    int m = 0;
+    for (const auto &p : programs_)
+        m = std::max(m, p.maxRegister() + 1);
+    return std::max(m, 1);
+}
+
+std::vector<Addr>
+MultiProgram::touchedAddrs() const
+{
+    std::set<Addr> s;
+    for (const auto &p : programs_) {
+        for (Addr a : p.touchedAddrs())
+            s.insert(a);
+    }
+    for (const auto &[a, v] : initials_)
+        s.insert(a);
+    return {s.begin(), s.end()};
+}
+
+std::string
+MultiProgram::toString() const
+{
+    std::ostringstream oss;
+    oss << "workload: " << name_ << '\n';
+    for (int p = 0; p < numProcs(); ++p) {
+        oss << "P" << p << ":\n" << programs_[p].toString();
+    }
+    return oss.str();
+}
+
+} // namespace wo

@@ -1,0 +1,184 @@
+#include "cpu/program_builder.hh"
+
+#include <stdexcept>
+
+namespace wo {
+
+ProgramBuilder &
+ProgramBuilder::push(Instruction insn)
+{
+    code_.push_back(insn);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::load(int dst, Addr addr)
+{
+    Instruction i;
+    i.op = Opcode::Load;
+    i.dst = dst;
+    i.addr = addr;
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::store(Addr addr, Word imm)
+{
+    Instruction i;
+    i.op = Opcode::Store;
+    i.addr = addr;
+    i.imm = imm;
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::storeReg(Addr addr, int src)
+{
+    Instruction i;
+    i.op = Opcode::Store;
+    i.addr = addr;
+    i.src = src;
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::tas(int dst, Addr addr, Word write_value)
+{
+    Instruction i;
+    i.op = Opcode::TestAndSet;
+    i.dst = dst;
+    i.addr = addr;
+    i.imm = write_value;
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::test(int dst, Addr addr)
+{
+    Instruction i;
+    i.op = Opcode::SyncRead;
+    i.dst = dst;
+    i.addr = addr;
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::unset(Addr addr, Word imm)
+{
+    Instruction i;
+    i.op = Opcode::SyncWrite;
+    i.addr = addr;
+    i.imm = imm;
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::unsetReg(Addr addr, int src)
+{
+    Instruction i;
+    i.op = Opcode::SyncWrite;
+    i.addr = addr;
+    i.src = src;
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::movi(int dst, Word imm)
+{
+    Instruction i;
+    i.op = Opcode::Movi;
+    i.dst = dst;
+    i.imm = imm;
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::addi(int dst, int src, Word imm)
+{
+    Instruction i;
+    i.op = Opcode::Addi;
+    i.dst = dst;
+    i.src = src;
+    i.imm = imm;
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::beq(int src, Word imm, const std::string &label)
+{
+    Instruction i;
+    i.op = Opcode::Beq;
+    i.src = src;
+    i.imm = imm;
+    fixups_.push_back({static_cast<int>(code_.size()), label});
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::bne(int src, Word imm, const std::string &label)
+{
+    Instruction i;
+    i.op = Opcode::Bne;
+    i.src = src;
+    i.imm = imm;
+    fixups_.push_back({static_cast<int>(code_.size()), label});
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::fence()
+{
+    Instruction i;
+    i.op = Opcode::Fence;
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::nop(int n)
+{
+    for (int k = 0; k < n; ++k) {
+        Instruction i;
+        i.op = Opcode::Nop;
+        push(i);
+    }
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    Instruction i;
+    i.op = Opcode::Halt;
+    return push(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    auto [it, inserted] =
+        labels_.emplace(name, static_cast<int>(code_.size()));
+    if (!inserted)
+        throw std::invalid_argument("duplicate label: " + name);
+    return *this;
+}
+
+Program
+ProgramBuilder::build() const
+{
+    std::vector<Instruction> code = code_;
+    for (const auto &f : fixups_) {
+        auto it = labels_.find(f.label);
+        if (it == labels_.end())
+            throw std::invalid_argument("undefined label: " + f.label);
+        code[f.index].target = it->second;
+    }
+    // Every program implicitly halts at the end.
+    if (code.empty() || code.back().op != Opcode::Halt) {
+        Instruction h;
+        h.op = Opcode::Halt;
+        code.push_back(h);
+    }
+    return Program(std::move(code));
+}
+
+} // namespace wo

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fluent builder for per-processor programs with symbolic labels.
+ *
+ * Example (a test-and-test&set acquire):
+ * @code
+ *   ProgramBuilder b;
+ *   b.label("spin")
+ *    .test(0, kLock)          // r0 = Test(lock)   (read-only sync)
+ *    .bne(0, 0, "spin")       // spin while held
+ *    .tas(0, kLock)           // r0 = TestAndSet(lock)
+ *    .bne(0, 0, "spin")       // lost the race: spin again
+ *    ...critical section...
+ *    .unset(kLock)
+ *    .halt();
+ *   Program p = b.build();
+ * @endcode
+ */
+
+#ifndef WO_CPU_PROGRAM_BUILDER_HH
+#define WO_CPU_PROGRAM_BUILDER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cpu/program.hh"
+
+namespace wo {
+
+/** Builds a Program instruction by instruction, resolving labels at
+ * build() time. */
+class ProgramBuilder
+{
+  public:
+    /** r[dst] = mem[addr] (data read). */
+    ProgramBuilder &load(int dst, Addr addr);
+
+    /** mem[addr] = imm (data write). */
+    ProgramBuilder &store(Addr addr, Word imm);
+
+    /** mem[addr] = r[src] (data write of a register). */
+    ProgramBuilder &storeReg(Addr addr, int src);
+
+    /** r[dst] = mem[addr]; mem[addr] = write_value (read-write sync). */
+    ProgramBuilder &tas(int dst, Addr addr, Word write_value = 1);
+
+    /** r[dst] = mem[addr] (read-only sync; the paper's "Test"). */
+    ProgramBuilder &test(int dst, Addr addr);
+
+    /** mem[addr] = imm (write-only sync; the paper's "Unset"). */
+    ProgramBuilder &unset(Addr addr, Word imm = 0);
+
+    /** mem[addr] = r[src] as a write-only sync. */
+    ProgramBuilder &unsetReg(Addr addr, int src);
+
+    /** r[dst] = imm. */
+    ProgramBuilder &movi(int dst, Word imm);
+
+    /** r[dst] = r[src] + imm. */
+    ProgramBuilder &addi(int dst, int src, Word imm);
+
+    /** if (r[src] == imm) goto label. */
+    ProgramBuilder &beq(int src, Word imm, const std::string &label);
+
+    /** if (r[src] != imm) goto label. */
+    ProgramBuilder &bne(int src, Word imm, const std::string &label);
+
+    /** Stall until all previous accesses are globally performed. */
+    ProgramBuilder &fence();
+
+    /** One cycle of non-memory work; @p n repeats. */
+    ProgramBuilder &nop(int n = 1);
+
+    /** Stop the processor. */
+    ProgramBuilder &halt();
+
+    /** Bind @p name to the next instruction's index. */
+    ProgramBuilder &label(const std::string &name);
+
+    /** Resolve labels and return the finished program. */
+    Program build() const;
+
+    /** Index the next instruction will get. */
+    int nextIndex() const { return static_cast<int>(code_.size()); }
+
+  private:
+    struct Fixup
+    {
+        int index;
+        std::string label;
+    };
+
+    ProgramBuilder &push(Instruction insn);
+
+    std::vector<Instruction> code_;
+    std::map<std::string, int> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace wo
+
+#endif // WO_CPU_PROGRAM_BUILDER_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Interconnect models: a serializing shared bus and a general
+ * interconnection network.
+ *
+ * These are the two interconnect families of the paper's Figure 1. The bus
+ * delivers messages one at a time in global FIFO order; the general network
+ * delivers each message with independently jittered latency, so messages
+ * between *different* node pairs can be reordered — the behaviour that
+ * breaks sequential consistency in cache-less systems even when each
+ * processor issues accesses in program order (Figure 1, case 2).
+ *
+ * Messages between the *same* (source, destination) pair are delivered in
+ * FIFO order on both interconnects; the directory protocol relies on
+ * point-to-point ordering (as real virtual-channel networks provide).
+ */
+
+#ifndef WO_MEM_INTERCONNECT_HH
+#define WO_MEM_INTERCONNECT_HH
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "mem/message.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace wo {
+
+/** Abstract interconnect: nodes attach handlers and send messages. */
+class Interconnect
+{
+  public:
+    using Handler = std::function<void(const Msg &)>;
+
+    Interconnect(EventQueue &eq, StatSet &stats, std::string name)
+        : eq_(eq), stats_(stats), name_(std::move(name))
+    {}
+
+    virtual ~Interconnect() = default;
+
+    /** Register the message handler for node @p id. */
+    void attach(NodeId id, Handler h);
+
+    /** Inject @p msg; it will be delivered to msg.dst's handler later. */
+    virtual void send(Msg msg) = 0;
+
+    /** Messages injected so far. */
+    std::uint64_t sent() const { return sent_; }
+
+  protected:
+    /** Deliver at absolute time @p when (keeps stats). */
+    void deliverAt(Tick when, Msg msg);
+
+    EventQueue &eq_;
+    StatSet &stats_;
+    std::string name_;
+    std::map<NodeId, Handler> handlers_;
+    std::uint64_t sent_ = 0;
+};
+
+/**
+ * A shared bus: one message occupies the bus for a fixed number of cycles;
+ * all traffic is serialized in global FIFO order.
+ */
+class Bus : public Interconnect
+{
+  public:
+    struct Config
+    {
+        Tick latency = 4;   ///< propagation delay once on the bus
+        Tick occupancy = 1; ///< cycles the bus is held per message
+    };
+
+    Bus(EventQueue &eq, StatSet &stats, const Config &cfg,
+        std::string name = "bus")
+        : Interconnect(eq, stats, std::move(name)), cfg_(cfg)
+    {}
+
+    void send(Msg msg) override;
+
+  private:
+    Config cfg_;
+    Tick free_at_ = 0;
+};
+
+/**
+ * A general interconnection network: per-message latency is base plus a
+ * deterministic pseudo-random jitter. Point-to-point FIFO order is
+ * enforced per (src, dst) pair; messages on different pairs reorder
+ * freely.
+ */
+class GeneralNetwork : public Interconnect
+{
+  public:
+    struct Config
+    {
+        Tick base = 6;          ///< minimum latency
+        Tick jitter = 8;        ///< max extra latency (uniform in [0, jitter])
+        std::uint64_t seed = 1; ///< jitter stream seed
+    };
+
+    GeneralNetwork(EventQueue &eq, StatSet &stats, const Config &cfg,
+                   std::string name = "net")
+        : Interconnect(eq, stats, std::move(name)), cfg_(cfg),
+          rng_(cfg.seed)
+    {}
+
+    void send(Msg msg) override;
+
+  private:
+    Config cfg_;
+    Rng rng_;
+    /** Last delivery time per (src, dst), for point-to-point FIFO. */
+    std::map<std::pair<NodeId, NodeId>, Tick> last_delivery_;
+};
+
+} // namespace wo
+
+#endif // WO_MEM_INTERCONNECT_HH

@@ -1,0 +1,61 @@
+#include "mem/memory_module.hh"
+
+#include <cassert>
+
+namespace wo {
+
+MemoryModule::MemoryModule(EventQueue &eq, Interconnect &net, StatSet &stats,
+                           NodeId node, const Config &cfg)
+    : eq_(eq), net_(net), stats_(stats), node_(node), cfg_(cfg)
+{
+    net_.attach(node, [this](const Msg &m) { handle(m); });
+}
+
+Word
+MemoryModule::peek(Addr addr) const
+{
+    auto it = store_.find(addr);
+    return it == store_.end() ? 0 : it->second;
+}
+
+void
+MemoryModule::handle(const Msg &msg)
+{
+    // Serialize: one request at a time per module.
+    Tick start = std::max(eq_.now(), free_at_);
+    Tick done = start + cfg_.serviceLatency;
+    free_at_ = done;
+    stats_.inc("mem.requests");
+
+    Msg req = msg;
+    eq_.scheduleAt(done, [this, req] {
+        Msg resp;
+        resp.src = node_;
+        resp.dst = req.src;
+        resp.addr = req.addr;
+        resp.reqId = req.reqId;
+        resp.forSync = req.forSync;
+        switch (req.type) {
+          case MsgType::MemReadReq:
+            resp.type = MsgType::MemReadResp;
+            resp.value = peek(req.addr);
+            break;
+          case MsgType::MemWriteReq:
+            store_[req.addr] = req.value;
+            resp.type = MsgType::MemWriteResp;
+            resp.value = req.value;
+            break;
+          case MsgType::MemRmwReq:
+            resp.type = MsgType::MemRmwResp;
+            resp.value = peek(req.addr); // old value returned
+            store_[req.addr] = req.value;
+            break;
+          default:
+            assert(false && "memory module got a non-memory message");
+            return;
+        }
+        net_.send(resp);
+    });
+}
+
+} // namespace wo

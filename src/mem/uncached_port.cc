@@ -1,0 +1,68 @@
+#include "mem/uncached_port.hh"
+
+#include <cassert>
+
+namespace wo {
+
+UncachedPort::UncachedPort(Interconnect &net, StatSet &stats, NodeId node,
+                           NodeId mem_base, int num_mods, std::string name)
+    : net_(net), stats_(stats), node_(node), mem_base_(mem_base),
+      num_mods_(num_mods), name_(std::move(name))
+{
+    net_.attach(node_, [this](const Msg &m) { handle(m); });
+}
+
+void
+UncachedPort::request(const CacheOp &op)
+{
+    Msg m;
+    m.src = node_;
+    m.dst = mem_base_ + static_cast<NodeId>(op.addr) % num_mods_;
+    m.addr = op.addr;
+    m.reqId = op.id;
+    m.forSync = isSync(op.kind);
+    switch (op.kind) {
+      case AccessKind::DataRead:
+      case AccessKind::SyncRead:
+        m.type = MsgType::MemReadReq;
+        break;
+      case AccessKind::DataWrite:
+      case AccessKind::SyncWrite:
+        m.type = MsgType::MemWriteReq;
+        m.value = op.writeValue;
+        break;
+      case AccessKind::SyncRmw:
+        m.type = MsgType::MemRmwReq;
+        m.value = op.writeValue;
+        break;
+    }
+    pending_[op.id] = Pending{op};
+    stats_.inc(name_ + ".requests");
+    net_.send(m);
+}
+
+void
+UncachedPort::handle(const Msg &msg)
+{
+    auto it = pending_.find(msg.reqId);
+    assert(it != pending_.end() && "response without a pending request");
+    CacheOp op = it->second.op;
+    pending_.erase(it);
+    assert(client_);
+
+    Word read_value = 0;
+    switch (msg.type) {
+      case MsgType::MemReadResp:
+      case MsgType::MemRmwResp:
+        read_value = msg.value;
+        break;
+      case MsgType::MemWriteResp:
+        break;
+      default:
+        assert(false && "unexpected response at uncached port");
+    }
+    client_->opCommitted(op.id, read_value);
+    client_->opGloballyPerformed(op.id);
+}
+
+} // namespace wo

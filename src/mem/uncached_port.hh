@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Memory port for cache-less configurations: every access travels over
+ * the interconnect to an address-interleaved memory module.
+ *
+ * Commit and globally-performed coincide at the response: an uncached
+ * access is performed everywhere once the (single) memory copy is
+ * read/updated and the response is back.
+ */
+
+#ifndef WO_MEM_UNCACHED_PORT_HH
+#define WO_MEM_UNCACHED_PORT_HH
+
+#include <map>
+
+#include "cpu/mem_port.hh"
+#include "mem/interconnect.hh"
+#include "sim/stats.hh"
+
+namespace wo {
+
+/** Processor-side port that talks directly to memory modules. */
+class UncachedPort : public MemPort
+{
+  public:
+    /**
+     * @param node      this port's interconnect node id
+     * @param mem_base  node id of memory module 0
+     * @param num_mods  number of modules (addr mod num_mods)
+     */
+    UncachedPort(Interconnect &net, StatSet &stats, NodeId node,
+                 NodeId mem_base, int num_mods, std::string name);
+
+    void setPortClient(CacheClient *c) override { client_ = c; }
+
+    void request(const CacheOp &op) override;
+
+    /** Incoming response handler. */
+    void handle(const Msg &msg);
+
+  private:
+    struct Pending
+    {
+        CacheOp op;
+    };
+
+    Interconnect &net_;
+    StatSet &stats_;
+    NodeId node_;
+    NodeId mem_base_;
+    int num_mods_;
+    std::string name_;
+    CacheClient *client_ = nullptr;
+    std::map<std::uint64_t, Pending> pending_;
+};
+
+} // namespace wo
+
+#endif // WO_MEM_UNCACHED_PORT_HH

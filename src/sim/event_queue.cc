@@ -1,0 +1,52 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace wo {
+
+void
+EventQueue::scheduleAt(Tick when, Callback fn)
+{
+    assert(when >= now_ && "cannot schedule an event in the past");
+    events_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    // priority_queue::top() returns a const ref; the callback must be moved
+    // out before pop, so copy the entry (cheap: one std::function).
+    Entry e = events_.top();
+    events_.pop();
+    assert(e.when >= now_);
+    now_ = e.when;
+    ++executed_;
+    e.fn();
+    return true;
+}
+
+bool
+EventQueue::run(Tick max_ticks)
+{
+    while (!events_.empty()) {
+        if (events_.top().when > max_ticks)
+            return false;
+        step();
+    }
+    return true;
+}
+
+void
+EventQueue::reset()
+{
+    while (!events_.empty())
+        events_.pop();
+    now_ = 0;
+    next_seq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace wo

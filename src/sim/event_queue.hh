@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation kernel.
+ *
+ * Every timing component of the simulator (caches, directories,
+ * interconnects, processors) schedules callbacks on one EventQueue. Events
+ * scheduled for the same tick fire in the order they were scheduled, which
+ * makes whole-system runs bit-for-bit reproducible for a given seed.
+ */
+
+#ifndef WO_SIM_EVENT_QUEUE_HH
+#define WO_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace wo {
+
+/**
+ * A time-ordered queue of callbacks driving the simulation.
+ *
+ * The queue is strictly deterministic: ties in scheduled time are broken by
+ * insertion sequence number.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * Scheduling in the past is a caller bug and asserts.
+     */
+    void scheduleAt(Tick when, Callback fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void scheduleAfter(Tick delay, Callback fn)
+    {
+        scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of events still pending. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Run a single event (the earliest). Returns false if the queue was
+     * empty.
+     */
+    bool step();
+
+    /**
+     * Run until the queue drains or @p max_ticks is exceeded.
+     *
+     * @return true if the queue drained, false if the tick limit was hit
+     *         (which usually indicates livelock in a protocol under test).
+     */
+    bool run(Tick max_ticks = kNoTick);
+
+    /** Reset time to zero and drop all pending events. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> events_;
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace wo
+
+#endif // WO_SIM_EVENT_QUEUE_HH

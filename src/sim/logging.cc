@@ -1,0 +1,32 @@
+#include "sim/logging.hh"
+
+#include <iostream>
+
+namespace wo {
+
+namespace {
+LogLevel g_level = LogLevel::None;
+} // namespace
+
+void
+Log::setLevel(LogLevel lvl)
+{
+    g_level = lvl;
+}
+
+LogLevel
+Log::level()
+{
+    return g_level;
+}
+
+void
+Log::emit(LogLevel lvl, Tick tick, const std::string &who,
+          const std::string &msg)
+{
+    if (g_level < lvl)
+        return;
+    std::cerr << tick << " [" << who << "] " << msg << '\n';
+}
+
+} // namespace wo

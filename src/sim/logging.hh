@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal leveled logging / tracing support.
+ *
+ * Logging is off by default so test and benchmark runs stay quiet; enable
+ * with Log::setLevel() when debugging a protocol trace.
+ */
+
+#ifndef WO_SIM_LOGGING_HH
+#define WO_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace wo {
+
+/** Severity levels for simulator tracing. */
+enum class LogLevel { None = 0, Warn = 1, Info = 2, Trace = 3 };
+
+/** Global logging configuration and sink. */
+class Log
+{
+  public:
+    /** Set the global verbosity. */
+    static void setLevel(LogLevel lvl);
+
+    /** Current verbosity. */
+    static LogLevel level();
+
+    /** True if messages at @p lvl would be emitted. */
+    static bool enabled(LogLevel lvl) { return level() >= lvl; }
+
+    /** Emit one line, prefixed with the component name and tick. */
+    static void emit(LogLevel lvl, Tick tick, const std::string &who,
+                     const std::string &msg);
+};
+
+/** Convenience macro: only evaluates the message when tracing is on. */
+#define WO_TRACE(eq, who, expr)                                             \
+    do {                                                                    \
+        if (::wo::Log::enabled(::wo::LogLevel::Trace)) {                    \
+            std::ostringstream oss_;                                        \
+            oss_ << expr;                                                   \
+            ::wo::Log::emit(::wo::LogLevel::Trace, (eq).now(), (who),       \
+                            oss_.str());                                    \
+        }                                                                   \
+    } while (0)
+
+} // namespace wo
+
+#endif // WO_SIM_LOGGING_HH

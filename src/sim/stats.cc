@@ -1,0 +1,64 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace wo {
+
+void
+StatSet::inc(const std::string &name, std::uint64_t delta)
+{
+    values_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, std::uint64_t value)
+{
+    values_[name] = value;
+}
+
+void
+StatSet::maxOf(const std::string &name, std::uint64_t value)
+{
+    auto it = values_.find(name);
+    if (it == values_.end() || it->second < value)
+        values_[name] = value;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return values_.find(name) != values_.end();
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[k, v] : other.values_)
+        values_[k] += v;
+}
+
+void
+StatSet::dump(std::ostream &os, const std::string &prefix_filter) const
+{
+    std::size_t width = 0;
+    for (const auto &[k, v] : values_) {
+        if (k.rfind(prefix_filter, 0) == 0)
+            width = std::max(width, k.size());
+    }
+    for (const auto &[k, v] : values_) {
+        if (k.rfind(prefix_filter, 0) == 0) {
+            os << std::left << std::setw(static_cast<int>(width) + 2) << k
+               << v << '\n';
+        }
+    }
+}
+
+} // namespace wo

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components register named counters and scalars; harnesses dump them as
+ * aligned tables. This mirrors (in miniature) the stats packages of
+ * full-system simulators.
+ */
+
+#ifndef WO_SIM_STATS_HH
+#define WO_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace wo {
+
+/**
+ * A flat registry of named statistic values.
+ *
+ * Names are conventionally "component.stat", e.g. "cache0.misses".
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (created at zero on first use). */
+    void inc(const std::string &name, std::uint64_t delta = 1);
+
+    /** Set counter @p name to an absolute value. */
+    void set(const std::string &name, std::uint64_t value);
+
+    /** Track the maximum of values reported for @p name. */
+    void maxOf(const std::string &name, std::uint64_t value);
+
+    /** Value of @p name, or 0 if never touched. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True if the counter exists. */
+    bool has(const std::string &name) const;
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return values_;
+    }
+
+    /** Merge another StatSet into this one (summing shared names). */
+    void merge(const StatSet &other);
+
+    /** Remove every counter. */
+    void clear() { values_.clear(); }
+
+    /** Pretty-print as an aligned two-column table. */
+    void dump(std::ostream &os, const std::string &prefix_filter = "") const;
+
+  private:
+    std::map<std::string, std::uint64_t> values_;
+};
+
+} // namespace wo
+
+#endif // WO_SIM_STATS_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem of the weakorder
+ * library.
+ */
+
+#ifndef WO_SIM_TYPES_HH
+#define WO_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace wo {
+
+/** Simulated time, in cycles. */
+using Tick = std::uint64_t;
+
+/** A word address in the simulated shared memory (word granularity). */
+using Addr = std::uint32_t;
+
+/** A value stored in one memory word. */
+using Word = std::uint64_t;
+
+/** Identifier of a processor (0-based). */
+using ProcId = int;
+
+/** Identifier of a node on an interconnect (caches, directories, ...). */
+using NodeId = int;
+
+/** Sentinel meaning "no tick recorded yet". */
+inline constexpr Tick kNoTick = ~Tick{0};
+
+/** Sentinel for "no processor" (used e.g. for initializing writes). */
+inline constexpr ProcId kNoProc = -1;
+
+} // namespace wo
+
+#endif // WO_SIM_TYPES_HH

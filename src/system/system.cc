@@ -1,0 +1,234 @@
+#include "system/system.hh"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace wo {
+
+System::System(const MultiProgram &program, const SystemConfig &cfg)
+    : program_(program), cfg_(cfg)
+{
+    policy_ = makePolicy(cfg_.policy);
+    if (policy_->requiresCache() && !cfg_.cached) {
+        throw std::invalid_argument(
+            policy_->name() +
+            " needs a cache-coherent system (reserve bits live in caches)");
+    }
+    if (cfg_.writeBuffer && !policy_->allowWriteBuffer()) {
+        throw std::invalid_argument(
+            "write buffers are illegal under policy " + policy_->name());
+    }
+    if (cfg_.numDirs < 1 || cfg_.numMemModules < 1)
+        throw std::invalid_argument("need at least one memory/dir bank");
+
+    int nprocs = program_.numProcs();
+    if (nprocs < 1)
+        throw std::invalid_argument("workload has no processors");
+
+    if (cfg_.interconnect == InterconnectKind::Bus) {
+        net_ = std::make_unique<Bus>(eq_, stats_, cfg_.bus);
+    } else {
+        net_ = std::make_unique<GeneralNetwork>(eq_, stats_, cfg_.net);
+    }
+
+    std::vector<Addr> addrs = program_.touchedAddrs();
+    for (Addr a : addrs)
+        trace_.setInitial(a, program_.initialValue(a));
+
+    if (cfg_.cached) {
+        CacheConfig ccfg = cfg_.cache;
+        ccfg.syncReadsAsWrites = policy_->syncReadsAsWrites();
+        ccfg.useReserveBits = policy_->useReserveBits();
+        for (int d = 0; d < cfg_.numDirs; ++d) {
+            dirs_.push_back(std::make_unique<Directory>(
+                eq_, *net_, stats_, nprocs + d, cfg_.dir,
+                "dir" + std::to_string(d)));
+        }
+        for (ProcId p = 0; p < nprocs; ++p) {
+            caches_.push_back(std::make_unique<Cache>(
+                eq_, *net_, stats_, p, nprocs, cfg_.numDirs, ccfg,
+                "cache" + std::to_string(p)));
+        }
+        for (Addr a : addrs)
+            dirs_[a % cfg_.numDirs]->poke(a, program_.initialValue(a));
+        if (cfg_.warmCaches) {
+            std::set<NodeId> all;
+            for (ProcId p = 0; p < nprocs; ++p)
+                all.insert(p);
+            for (Addr a : addrs) {
+                Word v = program_.initialValue(a);
+                for (ProcId p = 0; p < nprocs; ++p)
+                    caches_[p]->pokeLine(a, LineState::Shared, v);
+                dirs_[a % cfg_.numDirs]->pokeShared(a, all);
+            }
+        }
+    } else {
+        for (int m = 0; m < cfg_.numMemModules; ++m) {
+            mems_.push_back(std::make_unique<MemoryModule>(
+                eq_, *net_, stats_, nprocs + m, cfg_.mem));
+        }
+        for (ProcId p = 0; p < nprocs; ++p) {
+            uncached_ports_.push_back(std::make_unique<UncachedPort>(
+                *net_, stats_, p, nprocs, cfg_.numMemModules,
+                "port" + std::to_string(p)));
+        }
+        for (Addr a : addrs)
+            mems_[a % cfg_.numMemModules]->poke(a, program_.initialValue(a));
+    }
+
+    ProcessorConfig pcfg = cfg_.proc;
+    pcfg.useWriteBuffer = cfg_.writeBuffer;
+    for (ProcId p = 0; p < nprocs; ++p) {
+        MemPort &port = cfg_.cached
+                            ? static_cast<MemPort &>(*caches_[p])
+                            : static_cast<MemPort &>(*uncached_ports_[p]);
+        procs_.push_back(std::make_unique<Processor>(
+            eq_, stats_, p, program_.program(p), port, *policy_, &trace_,
+            pcfg));
+    }
+}
+
+bool
+System::run()
+{
+    for (auto &p : procs_)
+        p->start();
+    bool drained = eq_.run(cfg_.maxTicks);
+    bool ok = drained;
+    for (auto &p : procs_) {
+        if (!p->halted() || !p->quiescent())
+            ok = false;
+    }
+    for (auto &d : dirs_) {
+        if (!d->idle())
+            ok = false;
+    }
+    stats_.set("system.finish_tick", finishTick());
+    stats_.set("system.completed", ok ? 1 : 0);
+    return ok;
+}
+
+Tick
+System::finishTick() const
+{
+    Tick t = 0;
+    for (const auto &p : procs_) {
+        if (p->haltTick() != kNoTick && p->haltTick() > t)
+            t = p->haltTick();
+    }
+    return t;
+}
+
+Cache *
+System::cache(ProcId p)
+{
+    return cfg_.cached ? caches_.at(p).get() : nullptr;
+}
+
+RunResult
+System::result() const
+{
+    RunResult r;
+    for (Addr a : program_.touchedAddrs()) {
+        Word v = 0;
+        if (cfg_.cached) {
+            v = dirs_[a % cfg_.numDirs]->peek(a);
+            // An exclusive cached copy is the authoritative value.
+            for (const auto &c : caches_) {
+                LineState st;
+                Word d;
+                if (c->peekLine(a, &st, &d) && st == LineState::Exclusive)
+                    v = d;
+            }
+        } else {
+            v = mems_[a % cfg_.numMemModules]->peek(a);
+        }
+        r.finalMemory[a] = v;
+    }
+    int nregs = program_.numRegisters();
+    for (const auto &p : procs_) {
+        std::vector<Word> regs = p->registers();
+        regs.resize(nregs, 0);
+        r.registers.push_back(std::move(regs));
+    }
+    r.allHalted = true;
+    for (const auto &p : procs_) {
+        if (!p->halted())
+            r.allHalted = false;
+    }
+    return r;
+}
+
+std::vector<std::string>
+System::auditCoherence() const
+{
+    std::vector<std::string> problems;
+    if (!cfg_.cached)
+        return problems;
+    for (Addr a : program_.touchedAddrs()) {
+        const Directory &dir = *dirs_[a % cfg_.numDirs];
+        Directory::LineAudit da = dir.audit(a);
+        if (da.busy) {
+            problems.push_back("dir busy on line " + std::to_string(a));
+        }
+        int exclusive_copies = 0;
+        NodeId exclusive_holder = -1;
+        for (std::size_t c = 0; c < caches_.size(); ++c) {
+            LineState st;
+            Word d;
+            if (!caches_[c]->peekLine(a, &st, &d))
+                continue;
+            if (st == LineState::Exclusive) {
+                ++exclusive_copies;
+                exclusive_holder = static_cast<NodeId>(c);
+            } else {
+                if (!da.sharers.count(static_cast<NodeId>(c))) {
+                    problems.push_back(
+                        "cache" + std::to_string(c) + " holds line " +
+                        std::to_string(a) +
+                        " shared but is not in the directory sharer set");
+                }
+                if (d != dir.peek(a)) {
+                    problems.push_back(
+                        "cache" + std::to_string(c) + " shared copy of " +
+                        std::to_string(a) + " = " + std::to_string(d) +
+                        " but directory memory = " +
+                        std::to_string(dir.peek(a)));
+                }
+            }
+        }
+        if (exclusive_copies > 1) {
+            problems.push_back("line " + std::to_string(a) + " has " +
+                               std::to_string(exclusive_copies) +
+                               " exclusive copies");
+        }
+        if (exclusive_copies == 1 &&
+            (!da.exclusive || da.owner != exclusive_holder)) {
+            problems.push_back(
+                "line " + std::to_string(a) + " exclusive in cache" +
+                std::to_string(exclusive_holder) +
+                " but directory disagrees");
+        }
+        if (exclusive_copies == 0 && da.exclusive) {
+            problems.push_back("directory says line " + std::to_string(a) +
+                               " is owned but no cache holds it "
+                               "exclusively");
+        }
+    }
+    return problems;
+}
+
+std::string
+System::description() const
+{
+    std::ostringstream oss;
+    oss << (cfg_.interconnect == InterconnectKind::Bus ? "bus" : "network")
+        << "/" << (cfg_.cached ? "cached" : "uncached") << "/"
+        << policy_->name();
+    if (cfg_.writeBuffer)
+        oss << "+wb";
+    return oss.str();
+}
+
+} // namespace wo

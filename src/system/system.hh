@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Whole-system assembly: processors x interconnect x memory organization
+ * x consistency policy.
+ *
+ * The four hardware configurations of Figure 1 are all expressible:
+ * {bus, general network} x {cache-less, cache-coherent}, each under any
+ * of the consistency policies (where legal: the Definition 2
+ * implementations need caches for their reserve bits).
+ */
+
+#ifndef WO_SYSTEM_SYSTEM_HH
+#define WO_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/cache.hh"
+#include "coherence/directory.hh"
+#include "consistency/policy.hh"
+#include "core/trace.hh"
+#include "cpu/processor.hh"
+#include "cpu/program.hh"
+#include "mem/interconnect.hh"
+#include "mem/memory_module.hh"
+#include "mem/uncached_port.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace wo {
+
+/** Which interconnect family to build. */
+enum class InterconnectKind { Bus, Network };
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    bool cached = true;
+    InterconnectKind interconnect = InterconnectKind::Network;
+    PolicyKind policy = PolicyKind::Def2Drf0;
+
+    /** Enable processor write buffers (Relaxed policy only). */
+    bool writeBuffer = false;
+
+    int numMemModules = 2; ///< memory banks (cache-less systems)
+    int numDirs = 1;       ///< directory banks (cache-coherent systems)
+
+    Bus::Config bus;
+    GeneralNetwork::Config net;
+    MemoryModule::Config mem;
+    DirectoryConfig dir;
+    CacheConfig cache;
+    ProcessorConfig proc;
+
+    /** Give up (livelock guard) after this many ticks. */
+    Tick maxTicks = 5000000;
+
+    /** Pre-load every touched location Shared into every cache (a warm
+     * steady state; directory sharer lists are set to match). */
+    bool warmCaches = false;
+};
+
+/** A complete simulated multiprocessor running one workload. */
+class System
+{
+  public:
+    /** Build the system; throws std::invalid_argument on illegal
+     * configuration combinations. */
+    System(const MultiProgram &program, const SystemConfig &cfg);
+
+    /**
+     * Run to completion.
+     *
+     * @return true if every processor halted, every access completed and
+     *         the protocol drained before the tick limit.
+     */
+    bool run();
+
+    /** Observable outcome (registers padded to the workload's register
+     * count so results compare against idealized outcomes). */
+    RunResult result() const;
+
+    /** The recorded execution trace. */
+    const ExecutionTrace &trace() const { return trace_; }
+
+    /** Simulation statistics. */
+    const StatSet &stats() const { return stats_; }
+
+    /** Tick at which the last processor halted. */
+    Tick finishTick() const;
+
+    /** Access to one processor (stall counters, registers). */
+    Processor &processor(ProcId p) { return *procs_.at(p); }
+    const Processor &processor(ProcId p) const { return *procs_.at(p); }
+
+    /** The cache of processor @p p (nullptr in cache-less systems). */
+    Cache *cache(ProcId p);
+
+    /** The event queue (advanced diagnostics / tests). */
+    EventQueue &eventQueue() { return eq_; }
+
+    /** Human-readable configuration summary. */
+    std::string description() const;
+
+    /**
+     * Audit end-of-run coherence invariants (cache-coherent systems):
+     *  - at most one exclusive copy of each line, and the directory's
+     *    owner matches;
+     *  - every cached shared copy is listed in the directory's sharer
+     *    set (the set may be a stale superset after silent drops);
+     *  - shared copies hold the directory's memory value;
+     *  - no directory line is still busy.
+     *
+     * @return human-readable violations; empty means coherent.
+     */
+    std::vector<std::string> auditCoherence() const;
+
+  private:
+    MultiProgram program_;
+    SystemConfig cfg_;
+    EventQueue eq_;
+    StatSet stats_;
+    ExecutionTrace trace_;
+    std::unique_ptr<Interconnect> net_;
+    std::unique_ptr<ConsistencyPolicy> policy_;
+    std::vector<std::unique_ptr<Cache>> caches_;
+    std::vector<std::unique_ptr<UncachedPort>> uncached_ports_;
+    std::vector<std::unique_ptr<Directory>> dirs_;
+    std::vector<std::unique_ptr<MemoryModule>> mems_;
+    std::vector<std::unique_ptr<Processor>> procs_;
+};
+
+} // namespace wo
+
+#endif // WO_SYSTEM_SYSTEM_HH

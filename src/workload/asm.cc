@@ -1,0 +1,427 @@
+#include "workload/asm.hh"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "cpu/program_builder.hh"
+
+namespace wo {
+
+namespace {
+
+/** One tokenized source line. */
+struct Tokens
+{
+    std::vector<std::string> items;
+    int line;
+};
+
+std::string
+lower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/**
+ * Tokenize one line: identifiers/numbers, and the punctuation
+ * , : [ ] # = as single-character tokens. ';' starts a comment; '#'
+ * starts a comment only when it is not immediately followed by a digit
+ * or '-' (so "#42" stays an immediate marker).
+ */
+std::vector<std::string>
+tokenize(const std::string &line, int lineno)
+{
+    std::vector<std::string> toks;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        char c = line[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == ';')
+            break;
+        if (c == '#') {
+            bool imm = i + 1 < line.size() &&
+                       (std::isdigit(static_cast<unsigned char>(
+                            line[i + 1])) ||
+                        line[i + 1] == '-');
+            if (!imm)
+                break; // comment
+            toks.emplace_back("#");
+            ++i;
+            continue;
+        }
+        if (c == ',' || c == ':' || c == '[' || c == ']' || c == '=') {
+            toks.emplace_back(1, c);
+            ++i;
+            continue;
+        }
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '-') {
+            std::size_t j = i;
+            while (j < line.size() &&
+                   (std::isalnum(static_cast<unsigned char>(line[j])) ||
+                    line[j] == '_' || line[j] == '-')) {
+                ++j;
+            }
+            toks.push_back(line.substr(i, j - i));
+            i = j;
+            continue;
+        }
+        throw AsmError(lineno,
+                       std::string("unexpected character '") + c + "'");
+    }
+    return toks;
+}
+
+/** Cursor over one line's tokens. */
+class Cur
+{
+  public:
+    Cur(const Tokens &t) : t_(t) {}
+
+    bool done() const { return pos_ >= t_.items.size(); }
+
+    const std::string &
+    next(const char *what)
+    {
+        if (done())
+            throw AsmError(t_.line, std::string("expected ") + what);
+        return t_.items[pos_++];
+    }
+
+    void
+    expect(const std::string &tok)
+    {
+        const std::string &got = next(tok.c_str());
+        if (got != tok)
+            throw AsmError(t_.line, "expected '" + tok + "', got '" +
+                                        got + "'");
+    }
+
+    bool
+    accept(const std::string &tok)
+    {
+        if (!done() && t_.items[pos_] == tok) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::uint64_t
+    number(const char *what)
+    {
+        const std::string &s = next(what);
+        bool neg = !s.empty() && s[0] == '-';
+        std::size_t start = neg ? 1 : 0;
+        if (start >= s.size())
+            throw AsmError(t_.line, std::string("bad number for ") + what);
+        std::uint64_t v = 0;
+        for (std::size_t i = start; i < s.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(s[i])))
+                throw AsmError(t_.line, "bad number '" + s + "'");
+            v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+        }
+        return neg ? static_cast<std::uint64_t>(-static_cast<long long>(
+                         static_cast<long long>(v)))
+                   : v;
+    }
+
+    int
+    reg()
+    {
+        const std::string &s = next("register");
+        if (s.size() < 2 || (s[0] != 'r' && s[0] != 'R'))
+            throw AsmError(t_.line, "expected register, got '" + s + "'");
+        int v = 0;
+        for (std::size_t i = 1; i < s.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(s[i])))
+                throw AsmError(t_.line, "bad register '" + s + "'");
+            v = v * 10 + (s[i] - '0');
+        }
+        return v;
+    }
+
+    Addr
+    addr()
+    {
+        expect("[");
+        Addr a = static_cast<Addr>(number("address"));
+        expect("]");
+        return a;
+    }
+
+    Word
+    imm()
+    {
+        accept("#");
+        return number("immediate");
+    }
+
+    int line() const { return t_.line; }
+
+  private:
+    const Tokens &t_;
+    std::size_t pos_ = 0;
+};
+
+bool
+isRegToken(const std::string &s)
+{
+    return s.size() >= 2 && (s[0] == 'r' || s[0] == 'R') &&
+           std::isdigit(static_cast<unsigned char>(s[1]));
+}
+
+} // namespace
+
+MultiProgram
+assemble(const std::string &source, const std::string &name)
+{
+    MultiProgram mp(name);
+    std::istringstream in(source);
+    std::string raw;
+    int lineno = 0;
+
+    // Collect per-processor token lines, then build each with labels.
+    std::map<int, std::vector<Tokens>> sections;
+    std::vector<std::pair<Addr, Word>> inits;
+    int current = -1;
+
+    while (std::getline(in, raw)) {
+        ++lineno;
+        std::vector<std::string> toks = tokenize(raw, lineno);
+        if (toks.empty())
+            continue;
+        std::string head = lower(toks[0]);
+        // Section header: P<n> :
+        if (head.size() >= 2 && head[0] == 'p' &&
+            std::isdigit(static_cast<unsigned char>(head[1])) &&
+            toks.size() >= 2 && toks[1] == ":") {
+            current = std::stoi(head.substr(1));
+            if (current < 0 || toks.size() != 2)
+                throw AsmError(lineno, "bad section header");
+            sections[current]; // create
+            continue;
+        }
+        if (head == "init") {
+            Tokens t{toks, lineno};
+            Cur c(t);
+            c.next("init");
+            Addr a = c.addr();
+            c.expect("=");
+            Word v = c.imm();
+            if (!c.done())
+                throw AsmError(lineno, "trailing tokens after init");
+            inits.emplace_back(a, v);
+            continue;
+        }
+        if (current < 0)
+            throw AsmError(lineno, "instruction outside any P<n> section");
+        sections[current].push_back(Tokens{toks, lineno});
+    }
+
+    int max_proc = sections.empty() ? -1 : sections.rbegin()->first;
+    for (int p = 0; p <= max_proc; ++p) {
+        ProgramBuilder b;
+        for (const Tokens &t : sections[p]) {
+            Cur c(t);
+            std::string first = c.next("mnemonic or label");
+            // Label?
+            if (c.accept(":")) {
+                b.label(first);
+                if (c.done())
+                    continue;
+                first = c.next("mnemonic");
+            }
+            std::string op = lower(first);
+            if (op == "movi") {
+                int r = c.reg();
+                c.expect(",");
+                b.movi(r, c.imm());
+            } else if (op == "addi") {
+                int rd = c.reg();
+                c.expect(",");
+                int rs = c.reg();
+                c.expect(",");
+                b.addi(rd, rs, c.imm());
+            } else if (op == "load") {
+                int r = c.reg();
+                c.expect(",");
+                b.load(r, c.addr());
+            } else if (op == "test") {
+                int r = c.reg();
+                c.expect(",");
+                b.test(r, c.addr());
+            } else if (op == "store" || op == "unset") {
+                Addr a = c.addr();
+                bool has_operand = op == "store";
+                Word iv = 0;
+                int rs = -1;
+                if (c.accept(",")) {
+                    has_operand = true;
+                    // register or immediate?
+                    if (!c.done()) {
+                        // Peek by trying register syntax.
+                        // Copy-free peek: accept '#' means immediate.
+                        if (c.accept("#")) {
+                            iv = c.number("immediate");
+                        } else {
+                            const std::string &s = c.next("operand");
+                            if (isRegToken(s)) {
+                                rs = std::stoi(s.substr(1));
+                            } else {
+                                // bare number immediate
+                                Tokens tmp{{s}, t.line};
+                                Cur cc(tmp);
+                                iv = cc.imm();
+                            }
+                        }
+                    }
+                } else if (op == "store") {
+                    throw AsmError(t.line, "store needs a value operand");
+                }
+                (void)has_operand;
+                if (op == "store") {
+                    if (rs >= 0)
+                        b.storeReg(a, rs);
+                    else
+                        b.store(a, iv);
+                } else {
+                    if (rs >= 0)
+                        b.unsetReg(a, rs);
+                    else
+                        b.unset(a, iv);
+                }
+            } else if (op == "tas") {
+                int r = c.reg();
+                c.expect(",");
+                Addr a = c.addr();
+                Word wv = 1;
+                if (c.accept(","))
+                    wv = c.imm();
+                b.tas(r, a, wv);
+            } else if (op == "beq" || op == "bne") {
+                int r = c.reg();
+                c.expect(",");
+                Word iv = c.imm();
+                c.expect(",");
+                std::string target = c.next("branch target");
+                if (op == "beq")
+                    b.beq(r, iv, target);
+                else
+                    b.bne(r, iv, target);
+            } else if (op == "fence") {
+                b.fence();
+            } else if (op == "nop") {
+                b.nop();
+            } else if (op == "halt") {
+                b.halt();
+            } else {
+                throw AsmError(t.line, "unknown mnemonic '" + op + "'");
+            }
+            if (!c.done())
+                throw AsmError(t.line, "trailing tokens");
+        }
+        try {
+            mp.addProgram(b.build());
+        } catch (const std::invalid_argument &e) {
+            throw AsmError(0, std::string("P") + std::to_string(p) + ": " +
+                                  e.what());
+        }
+    }
+    for (const auto &[a, v] : inits)
+        mp.setInitial(a, v);
+    return mp;
+}
+
+MultiProgram
+assembleFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return assemble(buf.str(), path);
+}
+
+std::string
+disassemble(const MultiProgram &mp)
+{
+    std::ostringstream oss;
+    for (const auto &[a, v] : mp.initials())
+        oss << "init [" << a << "] = " << v << "\n";
+    for (int p = 0; p < mp.numProcs(); ++p) {
+        oss << "P" << p << ":\n";
+        const Program &prog = mp.program(p);
+        // Synthesize labels for branch targets.
+        std::map<int, std::string> labels;
+        for (const auto &insn : prog.code()) {
+            if ((insn.op == Opcode::Beq || insn.op == Opcode::Bne) &&
+                insn.target >= 0 && !labels.count(insn.target)) {
+                labels[insn.target] =
+                    "L" + std::to_string(labels.size());
+            }
+        }
+        for (int pc = 0; pc < prog.size(); ++pc) {
+            auto lit = labels.find(pc);
+            if (lit != labels.end())
+                oss << lit->second << ":\n";
+            const Instruction &i = prog.at(pc);
+            oss << "    ";
+            switch (i.op) {
+              case Opcode::Load:
+                oss << "load r" << i.dst << ", [" << i.addr << "]";
+                break;
+              case Opcode::SyncRead:
+                oss << "test r" << i.dst << ", [" << i.addr << "]";
+                break;
+              case Opcode::Store:
+              case Opcode::SyncWrite:
+                oss << (i.op == Opcode::Store ? "store [" : "unset [")
+                    << i.addr << "], ";
+                if (i.src >= 0)
+                    oss << "r" << i.src;
+                else
+                    oss << "#" << i.imm;
+                break;
+              case Opcode::TestAndSet:
+                oss << "tas r" << i.dst << ", [" << i.addr << "], #"
+                    << i.imm;
+                break;
+              case Opcode::Movi:
+                oss << "movi r" << i.dst << ", #" << i.imm;
+                break;
+              case Opcode::Addi:
+                oss << "addi r" << i.dst << ", r" << i.src << ", #"
+                    << i.imm;
+                break;
+              case Opcode::Beq:
+              case Opcode::Bne:
+                oss << (i.op == Opcode::Beq ? "beq r" : "bne r") << i.src
+                    << ", #" << i.imm << ", " << labels.at(i.target);
+                break;
+              case Opcode::Fence:
+                oss << "fence";
+                break;
+              case Opcode::Nop:
+                oss << "nop";
+                break;
+              case Opcode::Halt:
+                oss << "halt";
+                break;
+            }
+            oss << "\n";
+        }
+    }
+    return oss.str();
+}
+
+} // namespace wo

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A tiny assembly front end for the simulator's ISA, so workloads can be
+ * written as text files instead of C++.
+ *
+ * Grammar (line oriented; '#'-to-end-of-line and ';'-to-end-of-line are
+ * comments... '#' only when not introducing an immediate):
+ *
+ *   program   := { section | init }
+ *   section   := "P" num ":" { line }
+ *   init      := "init" "[" num "]" "=" num
+ *   line      := [ label ":" ] [ insn ]
+ *   insn      := "movi"  reg "," imm
+ *              | "addi"  reg "," reg "," imm
+ *              | "load"  reg "," addr
+ *              | "store" addr "," ( reg | imm )
+ *              | "test"  reg "," addr            ; read-only sync
+ *              | "unset" addr "," ( reg | imm )  ; write-only sync
+ *              | "tas"   reg "," addr [ "," imm ]; read-write sync
+ *              | "beq"   reg "," imm "," ident
+ *              | "bne"   reg "," imm "," ident
+ *              | "fence" | "nop" | "halt"
+ *   reg       := "r" num
+ *   addr      := "[" num "]"
+ *   imm       := [ "#" ] num
+ *
+ * Example:
+ *
+ *   P0:
+ *       store [0], #42
+ *       unset [2], #1
+ *   P1:
+ *   spin:
+ *       test r0, [2]
+ *       beq r0, #0, spin
+ *       load r1, [0]
+ *
+ * Parse errors throw AsmError with the 1-based line number.
+ */
+
+#ifndef WO_WORKLOAD_ASM_HH
+#define WO_WORKLOAD_ASM_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "cpu/program.hh"
+
+namespace wo {
+
+/** Parse failure, carrying the offending line. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(int line, const std::string &what)
+        : std::runtime_error("line " + std::to_string(line) + ": " + what),
+          line_(line)
+    {}
+
+    /** 1-based source line of the error. */
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/** Assemble a complete multiprocessor workload from source text. */
+MultiProgram assemble(const std::string &source,
+                      const std::string &name = "asm");
+
+/** Assemble from a file on disk. */
+MultiProgram assembleFile(const std::string &path);
+
+/** Render a workload back to assembly text (labels synthesized). */
+std::string disassemble(const MultiProgram &mp);
+
+} // namespace wo
+
+#endif // WO_WORKLOAD_ASM_HH

@@ -1,0 +1,75 @@
+#include "workload/figures.hh"
+
+namespace wo {
+
+namespace {
+
+Access
+mk(ProcId proc, int po, AccessKind kind, Addr addr, Tick commit)
+{
+    Access a;
+    a.proc = proc;
+    a.poIndex = po;
+    a.kind = kind;
+    a.addr = addr;
+    a.commitTick = commit;
+    a.gpTick = commit;
+    return a;
+}
+
+} // namespace
+
+ExecutionTrace
+figure2aTrace()
+{
+    using namespace fig2;
+    // Time flows with the commit ticks; every conflicting access pair is
+    // hb-ordered through synchronization chains:
+    //   P0: W(x) S(a)                 -- publishes x under a
+    //   P1:        S(a) R(x) W(y) S(b)  -- consumes x, publishes y under b
+    //   P2:                  S(b) R(y) S(c)
+    //   P3:                            S(c) W(x)   -- x write after chain
+    //   P4: W(z) S(b)? no — keep z on its own sync:
+    //   P4: W(z) S(c)                 -- publishes z under c (before P5)
+    //   P5:        S(c) R(z)
+    // (Equivalent in structure to the paper's figure: multi-hop chains,
+    // several sync locations, all conflicts ordered.)
+    ExecutionTrace t;
+    t.add(mk(0, 0, AccessKind::DataWrite, kX, 0));  // W(x) by P0
+    t.add(mk(0, 1, AccessKind::SyncWrite, kA, 1));  // S(a) by P0
+    t.add(mk(1, 0, AccessKind::SyncRmw, kA, 2));    // S(a) by P1
+    t.add(mk(1, 1, AccessKind::DataRead, kX, 3));   // R(x) by P1
+    t.add(mk(1, 2, AccessKind::DataWrite, kY, 4));  // W(y) by P1
+    t.add(mk(1, 3, AccessKind::SyncWrite, kB, 5));  // S(b) by P1
+    t.add(mk(2, 0, AccessKind::SyncRmw, kB, 6));    // S(b) by P2
+    t.add(mk(2, 1, AccessKind::DataRead, kY, 7));   // R(y) by P2
+    t.add(mk(4, 0, AccessKind::DataWrite, kZ, 8));  // W(z) by P4
+    t.add(mk(4, 1, AccessKind::SyncWrite, kC, 9));  // S(c) by P4
+    t.add(mk(2, 2, AccessKind::SyncRmw, kC, 10));   // S(c) by P2
+    t.add(mk(3, 0, AccessKind::SyncRmw, kC, 11));   // S(c) by P3
+    t.add(mk(3, 1, AccessKind::DataWrite, kX, 12)); // W(x) by P3
+    t.add(mk(5, 0, AccessKind::SyncRmw, kC, 13));   // S(c) by P5
+    t.add(mk(5, 1, AccessKind::DataRead, kZ, 14));  // R(z) by P5
+    return t;
+}
+
+ExecutionTrace
+figure2bTrace()
+{
+    using namespace fig2;
+    // The counter-example: P0's accesses to x conflict with P1's write
+    // of x but no synchronization intervenes; P2's and P4's writes of y
+    // conflict unordered as well (P2 syncs on b, P4 does not).
+    ExecutionTrace t;
+    t.add(mk(0, 0, AccessKind::DataRead, kX, 0));   // R(x) by P0
+    t.add(mk(0, 1, AccessKind::DataWrite, kX, 1));  // W(x) by P0
+    t.add(mk(1, 0, AccessKind::DataWrite, kX, 2));  // W(x) by P1  (races)
+    t.add(mk(2, 0, AccessKind::DataWrite, kY, 3));  // W(y) by P2
+    t.add(mk(2, 1, AccessKind::SyncWrite, kB, 4));  // S(b) by P2
+    t.add(mk(3, 0, AccessKind::SyncRmw, kB, 5));    // S(b) by P3
+    t.add(mk(3, 1, AccessKind::DataRead, kY, 6));   // R(y) by P3 (ordered)
+    t.add(mk(4, 0, AccessKind::DataWrite, kY, 7));  // W(y) by P4  (races)
+    return t;
+}
+
+} // namespace wo

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The executions of Figure 2 of the paper: an example and a
+ * counter-example of DRF0, expressed as ExecutionTraces on the idealized
+ * architecture.
+ *
+ * Figure 2(a): every conflicting pair of accesses is ordered by the
+ * happens-before relation, through chains of synchronization operations
+ * (possibly spanning several processors and several sync locations).
+ *
+ * Figure 2(b): P0's data accesses conflict with P1's write but no
+ * synchronization orders them; similarly two other processors' writes to
+ * a common location conflict unordered.
+ */
+
+#ifndef WO_WORKLOAD_FIGURES_HH
+#define WO_WORKLOAD_FIGURES_HH
+
+#include "core/trace.hh"
+
+namespace wo {
+
+/** The DRF0-conformant execution of Figure 2(a) (6 processors; data
+ * locations x, y, z; sync locations a, b, c). */
+ExecutionTrace figure2aTrace();
+
+/** The DRF0-violating execution of Figure 2(b) (5 processors). */
+ExecutionTrace figure2bTrace();
+
+/** Address names used by the Figure 2 traces (for reporting). */
+namespace fig2 {
+inline constexpr Addr kX = 0;
+inline constexpr Addr kY = 1;
+inline constexpr Addr kZ = 2;
+inline constexpr Addr kA = 10;
+inline constexpr Addr kB = 11;
+inline constexpr Addr kC = 12;
+} // namespace fig2
+
+} // namespace wo
+
+#endif // WO_WORKLOAD_FIGURES_HH

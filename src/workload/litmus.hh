@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Litmus-test library: the programs the paper reasons about.
+ *
+ * Address map convention used by all litmus builders: data locations
+ * first, then synchronization locations; helpers return the addresses
+ * they used so harnesses can inspect results.
+ */
+
+#ifndef WO_WORKLOAD_LITMUS_HH
+#define WO_WORKLOAD_LITMUS_HH
+
+#include "core/trace.hh"
+#include "cpu/program.hh"
+
+namespace wo {
+
+/**
+ * Figure 1: the Dekker-style litmus.
+ *
+ *   P0: X = 1; r0 = Y        P1: Y = 1; r0 = X
+ *
+ * Sequential consistency forbids r0 == 0 on both processors.
+ */
+MultiProgram dekkerLitmus();
+
+/** True if a Dekker result is the SC-forbidden both-zero outcome. */
+bool dekkerViolatesSc(const RunResult &r);
+
+/**
+ * Racy message passing (NOT DRF0): P0 writes data then a plain flag; P1
+ * spins on the flag with ordinary reads, then reads data. The paper's
+ * Section 6 "spinning on a barrier count with a data read" example.
+ */
+MultiProgram racyMessagePassing(int spin_bound = 0);
+
+/**
+ * DRF0 message passing: P0 writes data then Unsets a sync flag; P1 spins
+ * with Test (read-only sync), then reads data.
+ */
+MultiProgram syncMessagePassing();
+
+/**
+ * The Figure 3 scenario. P0: W(x); other work; Unset(s); more work.
+ * P1: TestAndSet(s) until acquired; other work; R(x).
+ *
+ * @param work_nops cycles of "other work" between the interesting ops.
+ */
+MultiProgram figure3Scenario(int work_nops = 3);
+
+/**
+ * N processors each increment a shared counter @p rounds times inside a
+ * test-and-test&set lock (Test spin, then TAS; Section 6's example of
+ * read-only synchronization in anger).
+ */
+MultiProgram tttasLockCounter(int num_procs, int rounds);
+
+/**
+ * Same workload with a pure TAS spin lock (no read-only Test), which the
+ * DRF0 example implementation serializes heavily.
+ */
+MultiProgram tasLockCounter(int num_procs, int rounds);
+
+/**
+ * A sense-reversing style barrier, implemented with DRF0 primitives:
+ * each of N processors TAS-increments a barrier count, and the last one
+ * Unsets a release flag all others spin on with Test.
+ * Each processor writes private data before the barrier and reads a
+ * neighbour's data after it (race-free only if the barrier works).
+ */
+MultiProgram syncBarrier(int num_procs);
+
+/**
+ * Independent reads of independent writes (IRIW): P0 writes X, P1 writes
+ * Y, P2 reads X then Y, P3 reads Y then X. SC forbids the two readers
+ * observing the writes in opposite orders.
+ */
+MultiProgram iriwLitmus();
+
+/** True if an IRIW result shows the SC-forbidden opposite orders. */
+bool iriwViolatesSc(const RunResult &r);
+
+/**
+ * Peterson's 2-process mutual-exclusion algorithm, with a non-atomic
+ * shared-counter increment in the critical section.
+ *
+ * @param labeled false: flags and turn are ordinary data accesses — the
+ *        classic algorithm as written for sequentially consistent
+ *        memory. It is NOT data-race-free, so weakly ordered hardware
+ *        promises nothing: increments can be lost.
+ *        true: every flag/turn access uses a synchronization operation
+ *        (Test/Unset), making the program DRF0 — it then works on every
+ *        conforming implementation.
+ * @param rounds critical-section entries per processor.
+ */
+MultiProgram petersonCounter(bool labeled, int rounds = 1);
+
+/** Expected final counter value for petersonCounter. */
+Word petersonExpectedCount(int rounds);
+
+/** Addresses used by the litmus builders. */
+namespace litmus {
+inline constexpr Addr kX = 0;
+inline constexpr Addr kY = 1;
+inline constexpr Addr kData = 0;
+inline constexpr Addr kFlag = 1;
+inline constexpr Addr kSync = 2;
+inline constexpr Addr kCounter = 0;
+inline constexpr Addr kLock = 1;
+inline constexpr Addr kBarrierCount = 100;
+inline constexpr Addr kBarrierLock = 101;
+inline constexpr Addr kBarrierRelease = 102;
+inline constexpr Addr kPetersonFlag0 = 200;
+inline constexpr Addr kPetersonFlag1 = 201;
+inline constexpr Addr kPetersonTurn = 202;
+inline constexpr Addr kPetersonCounter = 203;
+} // namespace litmus
+
+} // namespace wo
+
+#endif // WO_WORKLOAD_LITMUS_HH

@@ -1,0 +1,123 @@
+#include "workload/random_gen.hh"
+
+#include <string>
+
+#include "cpu/program_builder.hh"
+#include "sim/rng.hh"
+
+namespace wo {
+
+namespace {
+
+/**
+ * Address map:
+ *   [0, numLocks)                           locks
+ *   [numLocks, numLocks + L*locsPerLock)    shared data, partitioned
+ *   then privateLocs per processor.
+ */
+Addr
+sharedLocAddr(const RandomWorkloadConfig &cfg, int lock, int k)
+{
+    return static_cast<Addr>(cfg.numLocks + lock * cfg.locsPerLock + k);
+}
+
+Addr
+privateLocAddr(const RandomWorkloadConfig &cfg, int proc, int k)
+{
+    return static_cast<Addr>(cfg.numLocks +
+                             cfg.numLocks * cfg.locsPerLock +
+                             proc * cfg.privateLocs + k);
+}
+
+void
+emitPrivateOps(ProgramBuilder &b, const RandomWorkloadConfig &cfg,
+               int proc, Rng &rng, Word &next_value)
+{
+    for (int i = 0; i < cfg.privateOpsBetween; ++i) {
+        Addr a = privateLocAddr(cfg, proc,
+                                static_cast<int>(rng.below(
+                                    std::max(cfg.privateLocs, 1))));
+        if (rng.chance(1, 2))
+            b.store(a, next_value++);
+        else
+            b.load(static_cast<int>(rng.below(4)), a);
+    }
+}
+
+MultiProgram
+generate(const RandomWorkloadConfig &cfg, int unguarded)
+{
+    MultiProgram mp(unguarded > 0 ? "random-racy" : "random-drf0");
+    Rng rng(cfg.seed);
+    for (int p = 0; p < cfg.numProcs; ++p) {
+        ProgramBuilder b;
+        Rng prng = rng.split();
+        Word next_value = static_cast<Word>(p + 1) * 100000;
+        int label_seq = 0;
+        for (int s = 0; s < cfg.sectionsPerProc; ++s) {
+            emitPrivateOps(b, cfg, p, prng, next_value);
+
+            int lock = static_cast<int>(prng.below(cfg.numLocks));
+            Addr la = lockAddr(cfg, lock);
+            std::string acq = "acq" + std::to_string(label_seq);
+            std::string skip = "skip" + std::to_string(label_seq);
+            ++label_seq;
+            if (cfg.spinAcquire) {
+                b.label(acq).tas(0, la).bne(0, 0, acq);
+            } else {
+                b.tas(0, la).bne(0, 0, skip);
+            }
+            for (int o = 0; o < cfg.opsPerSection; ++o) {
+                Addr a = sharedLocAddr(
+                    cfg, lock,
+                    static_cast<int>(prng.below(
+                        std::max(cfg.locsPerLock, 1))));
+                if (prng.chance(1, 2))
+                    b.store(a, next_value++);
+                else
+                    b.load(static_cast<int>(1 + prng.below(3)), a);
+            }
+            b.unset(la);
+            if (!cfg.spinAcquire)
+                b.label(skip);
+        }
+        // Deliberate races, if requested: raw accesses to shared data.
+        for (int u = 0; u < unguarded; ++u) {
+            int lock = static_cast<int>(prng.below(cfg.numLocks));
+            Addr a = sharedLocAddr(
+                cfg, lock,
+                static_cast<int>(prng.below(
+                    std::max(cfg.locsPerLock, 1))));
+            if (prng.chance(1, 2))
+                b.store(a, next_value++);
+            else
+                b.load(static_cast<int>(prng.below(4)), a);
+        }
+        b.halt();
+        mp.addProgram(b.build());
+    }
+    return mp;
+}
+
+} // namespace
+
+Addr
+lockAddr(const RandomWorkloadConfig &cfg, int i)
+{
+    (void)cfg;
+    return static_cast<Addr>(i);
+}
+
+MultiProgram
+randomDrf0Program(const RandomWorkloadConfig &cfg)
+{
+    return generate(cfg, 0);
+}
+
+MultiProgram
+randomRacyProgram(const RandomWorkloadConfig &cfg, int unguarded)
+{
+    return generate(cfg, unguarded);
+}
+
+} // namespace wo

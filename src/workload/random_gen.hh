@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Seeded random workload generators.
+ *
+ * randomDrf0Program() builds lock-structured programs that obey DRF0 by
+ * construction: every shared datum is guarded by exactly one lock, and
+ * all access to it happens inside that lock's critical sections. These
+ * drive the property tests (Definition 2: weak hardware must appear SC to
+ * such programs) and the throughput benchmarks.
+ *
+ * randomRacyProgram() deliberately breaks the discipline with unguarded
+ * shared accesses, for testing that the checkers and the relaxed systems
+ * behave as the paper predicts.
+ */
+
+#ifndef WO_WORKLOAD_RANDOM_GEN_HH
+#define WO_WORKLOAD_RANDOM_GEN_HH
+
+#include <cstdint>
+
+#include "cpu/program.hh"
+
+namespace wo {
+
+/** Shape of a generated workload. */
+struct RandomWorkloadConfig
+{
+    int numProcs = 4;
+
+    /** Locks; shared data locations are partitioned among them. */
+    int numLocks = 2;
+
+    /** Shared data locations per lock. */
+    int locsPerLock = 3;
+
+    /** Private (per-processor) scratch locations. */
+    int privateLocs = 2;
+
+    /** Critical sections per processor. */
+    int sectionsPerProc = 3;
+
+    /** Shared-data accesses inside each critical section. */
+    int opsPerSection = 3;
+
+    /** Private accesses between critical sections. */
+    int privateOpsBetween = 2;
+
+    /** Spin (TAS loop) on acquire; if false, a single TAS attempt guards
+     * the section and losers skip it — keeps the interleaving space
+     * enumerable for exhaustive checks. */
+    bool spinAcquire = true;
+
+    std::uint64_t seed = 1;
+};
+
+/** Address of lock @p i under @p cfg (also exposed for harnesses). */
+Addr lockAddr(const RandomWorkloadConfig &cfg, int i);
+
+/** Generate a DRF0-by-construction workload. */
+MultiProgram randomDrf0Program(const RandomWorkloadConfig &cfg);
+
+/** Generate a workload with deliberate data races: like the DRF0
+ * generator, but each processor also performs @p unguarded accesses to
+ * shared data outside any lock. */
+MultiProgram randomRacyProgram(const RandomWorkloadConfig &cfg,
+                               int unguarded = 2);
+
+} // namespace wo
+
+#endif // WO_WORKLOAD_RANDOM_GEN_HH

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the assembly front end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/idealized.hh"
+#include "workload/asm.hh"
+
+namespace wo {
+namespace {
+
+TEST(Asm, AssemblesStraightLine)
+{
+    MultiProgram mp = assemble(R"(
+P0:
+    movi r1, #7
+    store [5], r1
+    load r0, [5]
+    halt
+)");
+    ASSERT_EQ(mp.numProcs(), 1);
+    ASSERT_EQ(mp.program(0).size(), 4);
+    EXPECT_EQ(mp.program(0).at(0).op, Opcode::Movi);
+    EXPECT_EQ(mp.program(0).at(1).op, Opcode::Store);
+    EXPECT_EQ(mp.program(0).at(1).src, 1);
+    EXPECT_EQ(mp.program(0).at(2).op, Opcode::Load);
+}
+
+TEST(Asm, RunsOnIdealizedMachine)
+{
+    MultiProgram mp = assemble(R"(
+P0:
+    store [0], #42
+    unset [2], #1
+P1:
+spin:
+    test r0, [2]
+    beq r0, #0, spin
+    load r1, [0]
+)");
+    RunResult r = runWithSchedule(mp, {0, 0, 0});
+    ASSERT_TRUE(r.allHalted);
+    EXPECT_EQ(r.registers[1][1], 42u);
+}
+
+TEST(Asm, LabelsAndBranches)
+{
+    MultiProgram mp = assemble(R"(
+P0:
+    movi r0, #3
+loop:
+    addi r1, r1, #2
+    addi r0, r0, #-1
+    bne r0, #0, loop
+    halt
+)");
+    RunResult r = runWithSchedule(mp, {});
+    EXPECT_EQ(r.registers[0][1], 6u);
+}
+
+TEST(Asm, LabelOnSameLineAsInstruction)
+{
+    MultiProgram mp = assemble(R"(
+P0:
+spin: test r0, [2]
+    beq r0, #0, spin
+)");
+    EXPECT_EQ(mp.program(0).at(1).target, 0);
+}
+
+TEST(Asm, InitDirective)
+{
+    MultiProgram mp = assemble(R"(
+init [5] = 99
+P0:
+    load r0, [5]
+)");
+    EXPECT_EQ(mp.initialValue(5), 99u);
+    RunResult r = runWithSchedule(mp, {});
+    EXPECT_EQ(r.registers[0][0], 99u);
+}
+
+TEST(Asm, TasAndUnsetForms)
+{
+    MultiProgram mp = assemble(R"(
+P0:
+    tas r0, [9]
+    tas r1, [9], #0
+    unset [9]
+    unset [9], #5
+    unset [9], r1
+)");
+    const Program &p = mp.program(0);
+    EXPECT_EQ(p.at(0).imm, 1u);
+    EXPECT_EQ(p.at(1).imm, 0u);
+    EXPECT_EQ(p.at(2).imm, 0u);
+    EXPECT_EQ(p.at(3).imm, 5u);
+    EXPECT_EQ(p.at(4).src, 1);
+}
+
+TEST(Asm, CommentsAndBlankLines)
+{
+    MultiProgram mp = assemble(R"(
+# a hash comment
+P0:
+    movi r0, #1   ; semicolon comment
+    ; whole-line comment
+
+    halt          # trailing hash comment
+)");
+    EXPECT_EQ(mp.program(0).size(), 2);
+}
+
+TEST(Asm, ImplicitHaltAppended)
+{
+    MultiProgram mp = assemble("P0:\n    movi r0, #1\n");
+    EXPECT_EQ(mp.program(0).at(1).op, Opcode::Halt);
+}
+
+TEST(Asm, MissingSectionIsError)
+{
+    try {
+        assemble("    movi r0, #1\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 1);
+    }
+}
+
+TEST(Asm, UnknownMnemonicIsError)
+{
+    EXPECT_THROW(assemble("P0:\n    frob r0, #1\n"), AsmError);
+}
+
+TEST(Asm, UndefinedLabelIsError)
+{
+    EXPECT_THROW(assemble("P0:\n    beq r0, #0, nowhere\n"), AsmError);
+}
+
+TEST(Asm, BadRegisterIsError)
+{
+    EXPECT_THROW(assemble("P0:\n    load rx, [5]\n"), AsmError);
+}
+
+TEST(Asm, TrailingTokensIsError)
+{
+    EXPECT_THROW(assemble("P0:\n    nop nop\n"), AsmError);
+}
+
+TEST(Asm, GapProcessorsGetEmptyPrograms)
+{
+    MultiProgram mp = assemble(R"(
+P0:
+    movi r0, #1
+P2:
+    movi r0, #2
+)");
+    EXPECT_EQ(mp.numProcs(), 3);
+    // P1 is an (implicitly halting) empty program.
+    EXPECT_EQ(mp.program(1).size(), 1);
+    EXPECT_EQ(mp.program(1).at(0).op, Opcode::Halt);
+}
+
+TEST(Asm, DisassembleRoundTrips)
+{
+    const char *src = R"(
+init [5] = 9
+P0:
+    movi r0, #3
+loop:
+    addi r0, r0, #-1
+    tas r2, [7], #1
+    bne r0, #0, loop
+    store [5], r0
+    unset [7], #0
+    halt
+P1:
+    test r1, [7]
+    load r3, [5]
+    halt
+)";
+    MultiProgram mp = assemble(src);
+    std::string text = disassemble(mp);
+    MultiProgram mp2 = assemble(text);
+    ASSERT_EQ(mp2.numProcs(), mp.numProcs());
+    for (int p = 0; p < mp.numProcs(); ++p) {
+        ASSERT_EQ(mp2.program(p).size(), mp.program(p).size());
+        for (int i = 0; i < mp.program(p).size(); ++i) {
+            EXPECT_EQ(mp2.program(p).at(i).toString(),
+                      mp.program(p).at(i).toString())
+                << "P" << p << " @" << i;
+        }
+    }
+    EXPECT_EQ(mp2.initialValue(5), 9u);
+}
+
+} // namespace
+} // namespace wo

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Coherence litmus tests: per-location guarantees (condition 2 — all
+ * writes to a location observed in one total order) that must hold on
+ * EVERY policy, including the relaxed machine with caches, because the
+ * directory serializes transactions per line.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sc_verifier.hh"
+#include "cpu/program_builder.hh"
+#include "system/system.hh"
+
+namespace wo {
+namespace {
+
+const Addr X = 0;
+
+/** CoRR: two reads of one location by the same processor must not see
+ * values moving backwards against the write order. */
+TEST(CoherenceLitmus, CoRRNeverReadsBackwards)
+{
+    for (PolicyKind pk :
+         {PolicyKind::Sc, PolicyKind::Def1, PolicyKind::Def2Drf0,
+          PolicyKind::Def2Drf1, PolicyKind::Relaxed}) {
+        for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+            MultiProgram mp("corr");
+            ProgramBuilder w, r;
+            w.store(X, 1).halt();
+            r.load(0, X).load(1, X).halt();
+            mp.addProgram(w.build());
+            mp.addProgram(r.build());
+
+            SystemConfig cfg;
+            cfg.policy = pk;
+            cfg.net.seed = seed;
+            cfg.warmCaches = true;
+            System sys(mp, cfg);
+            ASSERT_TRUE(sys.run()) << toString(pk);
+            RunResult res = sys.result();
+            // Forbidden: first read 1 (new), second read 0 (old).
+            bool backwards =
+                res.registers[1][0] == 1 && res.registers[1][1] == 0;
+            EXPECT_FALSE(backwards) << toString(pk) << " seed " << seed;
+        }
+    }
+}
+
+/** CoWW/CoFinal: with two racing writers, the final value is one of the
+ * two writes, and per-location serialization gives a single winner
+ * everywhere. */
+TEST(CoherenceLitmus, RacingWritesHaveSingleWinner)
+{
+    for (PolicyKind pk : {PolicyKind::Def2Drf0, PolicyKind::Relaxed}) {
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+            MultiProgram mp("coww");
+            ProgramBuilder a, b, c;
+            a.store(X, 1).halt();
+            b.store(X, 2).halt();
+            c.load(0, X).load(1, X).halt();
+            mp.addProgram(a.build());
+            mp.addProgram(b.build());
+            mp.addProgram(c.build());
+
+            SystemConfig cfg;
+            cfg.policy = pk;
+            cfg.net.seed = seed;
+            System sys(mp, cfg);
+            ASSERT_TRUE(sys.run());
+            Word final_x = sys.result().finalMemory.at(X);
+            EXPECT_TRUE(final_x == 1 || final_x == 2);
+            // The observer must not see 1 then 2 then (finally) 1, i.e.
+            // its two reads plus the final value must fit ONE order of
+            // the two writes: if it read 2 before 1, final can't be 2
+            // unless 2 was re-observed... the simple check: reads can't
+            // bracket both orders.
+            Word r0 = sys.result().registers[2][0];
+            Word r1 = sys.result().registers[2][1];
+            if (r0 != 0 && r1 != 0 && r0 != r1) {
+                // Saw both writes in some order; the later one must be
+                // the final value.
+                EXPECT_EQ(final_x, r1)
+                    << toString(pk) << " seed " << seed;
+            }
+        }
+    }
+}
+
+/** Same-processor write then read of one location must forward. */
+TEST(CoherenceLitmus, OwnWriteAlwaysVisible)
+{
+    for (PolicyKind pk :
+         {PolicyKind::Sc, PolicyKind::Def1, PolicyKind::Def2Drf0,
+          PolicyKind::Def2Drf1, PolicyKind::Relaxed}) {
+        MultiProgram mp("ownfwd");
+        ProgramBuilder b;
+        b.store(X, 7).load(0, X).store(X, 8).load(1, X).halt();
+        mp.addProgram(b.build());
+        SystemConfig cfg;
+        cfg.policy = pk;
+        cfg.writeBuffer = pk == PolicyKind::Relaxed;
+        System sys(mp, cfg);
+        ASSERT_TRUE(sys.run()) << toString(pk);
+        EXPECT_EQ(sys.result().registers[0][0], 7u) << toString(pk);
+        EXPECT_EQ(sys.result().registers[0][1], 8u) << toString(pk);
+    }
+}
+
+/** Sync accesses to one location are totally ordered by commit times
+ * even from many processors (condition 3). */
+TEST(CoherenceLitmus, SyncRmwsNeverLost)
+{
+    // 4 processors TAS the same location once; exactly one sees 0.
+    for (PolicyKind pk : {PolicyKind::Def2Drf0, PolicyKind::Def2Drf1}) {
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+            MultiProgram mp("tas4");
+            for (int p = 0; p < 4; ++p) {
+                ProgramBuilder b;
+                b.tas(0, X).halt();
+                mp.addProgram(b.build());
+            }
+            SystemConfig cfg;
+            cfg.policy = pk;
+            cfg.net.seed = seed;
+            System sys(mp, cfg);
+            ASSERT_TRUE(sys.run());
+            int winners = 0;
+            for (int p = 0; p < 4; ++p) {
+                if (sys.result().registers[p][0] == 0)
+                    ++winners;
+            }
+            EXPECT_EQ(winners, 1) << toString(pk) << " seed " << seed;
+            EXPECT_TRUE(verifySc(sys.trace()).sc());
+        }
+    }
+}
+
+} // namespace
+} // namespace wo

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace wo {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&] { order.push_back(3); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAt(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.scheduleAt(5, [&, i] { order.push_back(i); });
+    EXPECT_TRUE(eq.run());
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.scheduleAt(100, [&] {
+        eq.scheduleAfter(5, [&] { seen = eq.now(); });
+    });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(seen, 105u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 100)
+            eq.scheduleAfter(1, chain);
+    };
+    eq.scheduleAt(0, chain);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(eq.now(), 99u);
+    EXPECT_EQ(eq.executed(), 100u);
+}
+
+TEST(EventQueue, RunHonorsTickLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(10, [&] { ++fired; });
+    eq.scheduleAt(1000, [&] { ++fired; });
+    EXPECT_FALSE(eq.run(100));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, ResetDropsPendingEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(10, [&] { ++fired; });
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueue, SameTickChainingRunsSameTick)
+{
+    EventQueue eq;
+    bool inner = false;
+    eq.scheduleAt(7, [&] { eq.scheduleAfter(0, [&] { inner = true; }); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_TRUE(inner);
+    EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = r.range(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, BelowCoversValues)
+{
+    Rng r(9);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 800; ++i)
+        ++seen[r.below(8)];
+    for (int c : seen)
+        EXPECT_GT(c, 0);
+}
+
+} // namespace
+} // namespace wo

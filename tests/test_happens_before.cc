@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the happens-before relation (po U so)+.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/happens_before.hh"
+
+namespace wo {
+namespace {
+
+/** Convenience for building trace accesses. */
+Access
+mk(ProcId proc, int po, AccessKind kind, Addr addr, Tick commit)
+{
+    Access a;
+    a.proc = proc;
+    a.poIndex = po;
+    a.kind = kind;
+    a.addr = addr;
+    a.commitTick = commit;
+    a.gpTick = commit;
+    return a;
+}
+
+TEST(HappensBefore, ProgramOrderIsIncluded)
+{
+    ExecutionTrace t;
+    int a = t.add(mk(0, 0, AccessKind::DataWrite, 1, 0));
+    int b = t.add(mk(0, 1, AccessKind::DataRead, 2, 1));
+    int c = t.add(mk(0, 2, AccessKind::DataWrite, 3, 2));
+    HappensBefore hb(t);
+    EXPECT_TRUE(hb.ordered(a, b));
+    EXPECT_TRUE(hb.ordered(b, c));
+    EXPECT_TRUE(hb.ordered(a, c)); // transitive
+    EXPECT_FALSE(hb.ordered(b, a));
+    EXPECT_FALSE(hb.ordered(c, a));
+}
+
+TEST(HappensBefore, CrossProcessorUnorderedWithoutSync)
+{
+    ExecutionTrace t;
+    int a = t.add(mk(0, 0, AccessKind::DataWrite, 1, 0));
+    int b = t.add(mk(1, 0, AccessKind::DataRead, 1, 1));
+    HappensBefore hb(t);
+    EXPECT_FALSE(hb.ordered(a, b));
+    EXPECT_FALSE(hb.ordered(b, a));
+    EXPECT_FALSE(hb.orderedEither(a, b));
+}
+
+TEST(HappensBefore, SyncOrderOrdersSameLocationSyncs)
+{
+    ExecutionTrace t;
+    int s1 = t.add(mk(0, 0, AccessKind::SyncWrite, 9, 5));
+    int s2 = t.add(mk(1, 0, AccessKind::SyncRmw, 9, 8));
+    HappensBefore hb(t);
+    EXPECT_TRUE(hb.ordered(s1, s2));
+    EXPECT_FALSE(hb.ordered(s2, s1));
+}
+
+TEST(HappensBefore, SyncsOnDifferentLocationsUnordered)
+{
+    ExecutionTrace t;
+    int s1 = t.add(mk(0, 0, AccessKind::SyncWrite, 9, 5));
+    int s2 = t.add(mk(1, 0, AccessKind::SyncWrite, 10, 8));
+    HappensBefore hb(t);
+    EXPECT_FALSE(hb.orderedEither(s1, s2));
+}
+
+TEST(HappensBefore, DataAccessesToSameLocationNotSyncOrdered)
+{
+    // so only relates synchronization operations.
+    ExecutionTrace t;
+    int w1 = t.add(mk(0, 0, AccessKind::DataWrite, 4, 1));
+    int w2 = t.add(mk(1, 0, AccessKind::DataWrite, 4, 2));
+    HappensBefore hb(t);
+    EXPECT_FALSE(hb.orderedEither(w1, w2));
+}
+
+TEST(HappensBefore, PaperChainExample)
+{
+    // The paper's chain:
+    //   op(P1,x) po S(P1,s) so S(P2,s) po S(P2,t) so S(P3,t) po op(P3,x)
+    // implies op(P1,x) hb op(P3,x).
+    ExecutionTrace t;
+    const Addr x = 0, s = 1, u = 2;
+    int op1 = t.add(mk(1, 0, AccessKind::DataWrite, x, 0));
+    int s1s = t.add(mk(1, 1, AccessKind::SyncWrite, s, 1));
+    int s2s = t.add(mk(2, 0, AccessKind::SyncRmw, s, 2));
+    int s2t = t.add(mk(2, 1, AccessKind::SyncWrite, u, 3));
+    int s3t = t.add(mk(3, 0, AccessKind::SyncRmw, u, 4));
+    int op3 = t.add(mk(3, 1, AccessKind::DataRead, x, 5));
+    HappensBefore hb(t);
+    EXPECT_TRUE(hb.ordered(s2t, s3t));
+    EXPECT_TRUE(hb.ordered(op1, op3));
+    EXPECT_FALSE(hb.ordered(op3, op1));
+    // Intermediate links too.
+    EXPECT_TRUE(hb.ordered(op1, s2s));
+    EXPECT_TRUE(hb.ordered(s1s, op3));
+}
+
+TEST(HappensBefore, SyncOrderUsesCommitTimeNotTraceOrder)
+{
+    ExecutionTrace t;
+    // Added out of commit order.
+    int late = t.add(mk(0, 0, AccessKind::SyncWrite, 9, 50));
+    int early = t.add(mk(1, 0, AccessKind::SyncWrite, 9, 10));
+    HappensBefore hb(t);
+    EXPECT_TRUE(hb.ordered(early, late));
+    EXPECT_FALSE(hb.ordered(late, early));
+}
+
+TEST(HappensBefore, IrreflexiveAndAcyclic)
+{
+    ExecutionTrace t;
+    int a = t.add(mk(0, 0, AccessKind::SyncWrite, 1, 0));
+    int b = t.add(mk(0, 1, AccessKind::SyncWrite, 1, 1));
+    HappensBefore hb(t);
+    EXPECT_TRUE(hb.acyclic());
+    EXPECT_FALSE(hb.ordered(a, a));
+    EXPECT_FALSE(hb.ordered(b, b));
+}
+
+TEST(HappensBefore, EmptyTrace)
+{
+    ExecutionTrace t;
+    HappensBefore hb(t);
+    EXPECT_EQ(hb.size(), 0);
+    EXPECT_FALSE(hb.ordered(0, 0));
+}
+
+} // namespace
+} // namespace wo

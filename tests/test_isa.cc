@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the ISA: access-kind classification and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/isa.hh"
+
+namespace wo {
+namespace {
+
+TEST(AccessKind, SyncClassification)
+{
+    EXPECT_FALSE(isSync(AccessKind::DataRead));
+    EXPECT_FALSE(isSync(AccessKind::DataWrite));
+    EXPECT_TRUE(isSync(AccessKind::SyncRead));
+    EXPECT_TRUE(isSync(AccessKind::SyncWrite));
+    EXPECT_TRUE(isSync(AccessKind::SyncRmw));
+}
+
+TEST(AccessKind, ReadWriteComponents)
+{
+    EXPECT_TRUE(readsMemory(AccessKind::DataRead));
+    EXPECT_FALSE(writesMemory(AccessKind::DataRead));
+    EXPECT_FALSE(readsMemory(AccessKind::DataWrite));
+    EXPECT_TRUE(writesMemory(AccessKind::DataWrite));
+    EXPECT_TRUE(readsMemory(AccessKind::SyncRead));
+    EXPECT_FALSE(writesMemory(AccessKind::SyncRead));
+    EXPECT_FALSE(readsMemory(AccessKind::SyncWrite));
+    EXPECT_TRUE(writesMemory(AccessKind::SyncWrite));
+    // TestAndSet has both components.
+    EXPECT_TRUE(readsMemory(AccessKind::SyncRmw));
+    EXPECT_TRUE(writesMemory(AccessKind::SyncRmw));
+}
+
+TEST(Instruction, MemOpClassification)
+{
+    Instruction i;
+    i.op = Opcode::Load;
+    EXPECT_TRUE(i.isMemOp());
+    EXPECT_EQ(i.accessKind(), AccessKind::DataRead);
+
+    i.op = Opcode::Store;
+    EXPECT_EQ(i.accessKind(), AccessKind::DataWrite);
+
+    i.op = Opcode::TestAndSet;
+    EXPECT_EQ(i.accessKind(), AccessKind::SyncRmw);
+
+    i.op = Opcode::SyncRead;
+    EXPECT_EQ(i.accessKind(), AccessKind::SyncRead);
+
+    i.op = Opcode::SyncWrite;
+    EXPECT_EQ(i.accessKind(), AccessKind::SyncWrite);
+
+    i.op = Opcode::Movi;
+    EXPECT_FALSE(i.isMemOp());
+    i.op = Opcode::Beq;
+    EXPECT_FALSE(i.isMemOp());
+    i.op = Opcode::Halt;
+    EXPECT_FALSE(i.isMemOp());
+}
+
+TEST(Instruction, Disassembly)
+{
+    Instruction i;
+    i.op = Opcode::Load;
+    i.dst = 2;
+    i.addr = 40;
+    EXPECT_EQ(i.toString(), "LOAD r2, [40]");
+
+    i = Instruction{};
+    i.op = Opcode::Store;
+    i.addr = 8;
+    i.imm = 5;
+    EXPECT_EQ(i.toString(), "STORE [8], #5");
+
+    i = Instruction{};
+    i.op = Opcode::TestAndSet;
+    i.dst = 0;
+    i.addr = 100;
+    i.imm = 1;
+    EXPECT_EQ(i.toString(), "TAS r0, [100], #1");
+
+    i = Instruction{};
+    i.op = Opcode::Bne;
+    i.src = 1;
+    i.imm = 0;
+    i.target = 3;
+    EXPECT_EQ(i.toString(), "BNE r1, #0, @3");
+}
+
+} // namespace
+} // namespace wo

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the consistency-policy issue gates and hints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "consistency/policy.hh"
+
+namespace wo {
+namespace {
+
+ProcState
+st(int outstanding, int not_gp, int sync_nc, int sync_ngp)
+{
+    ProcState s;
+    s.outstanding = outstanding;
+    s.notGloballyPerformed = not_gp;
+    s.syncsNotCommitted = sync_nc;
+    s.syncsNotGloballyPerformed = sync_ngp;
+    return s;
+}
+
+TEST(Policies, FactoryProducesAllKinds)
+{
+    for (PolicyKind k : {PolicyKind::Sc, PolicyKind::Def1,
+                         PolicyKind::Def2Drf0, PolicyKind::Def2Drf1,
+                         PolicyKind::Relaxed}) {
+        auto p = makePolicy(k);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->name(), toString(k));
+    }
+}
+
+TEST(Policies, ScGatesOnAnythingOutstanding)
+{
+    auto p = makePolicy(PolicyKind::Sc);
+    EXPECT_TRUE(p->mayIssue(AccessKind::DataRead, st(0, 0, 0, 0)));
+    EXPECT_FALSE(p->mayIssue(AccessKind::DataRead, st(0, 1, 0, 0)));
+    EXPECT_FALSE(p->mayIssue(AccessKind::SyncRmw, st(1, 1, 0, 0)));
+    EXPECT_FALSE(p->requiresCache());
+    EXPECT_FALSE(p->allowWriteBuffer());
+}
+
+TEST(Policies, Def1GatesSyncsOnAllGpAndDataOnSyncGp)
+{
+    auto p = makePolicy(PolicyKind::Def1);
+    // Data ops overlap freely while only data is pending.
+    EXPECT_TRUE(p->mayIssue(AccessKind::DataWrite, st(3, 3, 0, 0)));
+    // ... but not past a non-GP sync (condition 3).
+    EXPECT_FALSE(p->mayIssue(AccessKind::DataWrite, st(1, 1, 0, 1)));
+    // Syncs wait for everything (condition 2).
+    EXPECT_FALSE(p->mayIssue(AccessKind::SyncWrite, st(1, 1, 0, 0)));
+    EXPECT_TRUE(p->mayIssue(AccessKind::SyncWrite, st(0, 0, 0, 0)));
+    // A committed-but-not-GP sync still blocks both.
+    EXPECT_FALSE(p->mayIssue(AccessKind::SyncRmw, st(0, 1, 0, 1)));
+}
+
+TEST(Policies, Def2GatesOnlyOnUncommittedSyncs)
+{
+    for (PolicyKind k : {PolicyKind::Def2Drf0, PolicyKind::Def2Drf1}) {
+        auto p = makePolicy(k);
+        // Pending data never blocks issue (condition 4 only).
+        EXPECT_TRUE(p->mayIssue(AccessKind::DataWrite, st(5, 5, 0, 0)));
+        EXPECT_TRUE(p->mayIssue(AccessKind::SyncRmw, st(5, 5, 0, 0)));
+        // A non-GP but committed sync does not block...
+        EXPECT_TRUE(p->mayIssue(AccessKind::DataRead, st(0, 1, 0, 1)));
+        // ... an uncommitted sync blocks everything.
+        EXPECT_FALSE(p->mayIssue(AccessKind::DataRead, st(1, 1, 1, 1)));
+        EXPECT_FALSE(p->mayIssue(AccessKind::SyncWrite, st(1, 1, 1, 1)));
+        EXPECT_TRUE(p->requiresCache());
+        EXPECT_TRUE(p->useReserveBits());
+    }
+}
+
+TEST(Policies, Drf0AndDrf1DifferOnlyInSyncReadTreatment)
+{
+    auto drf0 = makePolicy(PolicyKind::Def2Drf0);
+    auto drf1 = makePolicy(PolicyKind::Def2Drf1);
+    EXPECT_TRUE(drf0->syncReadsAsWrites());
+    EXPECT_FALSE(drf1->syncReadsAsWrites());
+}
+
+TEST(Policies, RelaxedGatesNothing)
+{
+    auto p = makePolicy(PolicyKind::Relaxed);
+    EXPECT_TRUE(p->mayIssue(AccessKind::DataRead, st(9, 9, 3, 3)));
+    EXPECT_TRUE(p->mayIssue(AccessKind::SyncRmw, st(9, 9, 3, 3)));
+    EXPECT_TRUE(p->allowWriteBuffer());
+    EXPECT_FALSE(p->useReserveBits());
+}
+
+} // namespace
+} // namespace wo

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for Program / MultiProgram / ProgramBuilder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cpu/program_builder.hh"
+
+namespace wo {
+namespace {
+
+TEST(ProgramBuilder, BuildsStraightLineCode)
+{
+    ProgramBuilder b;
+    b.store(1, 42).load(0, 1).halt();
+    Program p = b.build();
+    ASSERT_EQ(p.size(), 3);
+    EXPECT_EQ(p.at(0).op, Opcode::Store);
+    EXPECT_EQ(p.at(1).op, Opcode::Load);
+    EXPECT_EQ(p.at(2).op, Opcode::Halt);
+}
+
+TEST(ProgramBuilder, AppendsImplicitHalt)
+{
+    ProgramBuilder b;
+    b.store(1, 42);
+    Program p = b.build();
+    ASSERT_EQ(p.size(), 2);
+    EXPECT_EQ(p.at(1).op, Opcode::Halt);
+}
+
+TEST(ProgramBuilder, ResolvesForwardLabels)
+{
+    ProgramBuilder b;
+    b.load(0, 1).beq(0, 0, "skip").store(2, 9).label("skip").halt();
+    Program p = b.build();
+    EXPECT_EQ(p.at(1).target, 3);
+}
+
+TEST(ProgramBuilder, ResolvesBackwardLabels)
+{
+    ProgramBuilder b;
+    b.label("spin").test(0, 5).bne(0, 0, "spin").halt();
+    Program p = b.build();
+    EXPECT_EQ(p.at(1).target, 0);
+}
+
+TEST(ProgramBuilder, UndefinedLabelThrows)
+{
+    ProgramBuilder b;
+    b.beq(0, 0, "nowhere");
+    EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, DuplicateLabelThrows)
+{
+    ProgramBuilder b;
+    b.label("a");
+    EXPECT_THROW(b.label("a"), std::invalid_argument);
+}
+
+TEST(Program, MaxRegisterAndTouchedAddrs)
+{
+    ProgramBuilder b;
+    b.load(3, 10).storeReg(20, 1).tas(0, 30);
+    Program p = b.build();
+    EXPECT_EQ(p.maxRegister(), 3);
+    EXPECT_EQ(p.touchedAddrs(), (std::vector<Addr>{10, 20, 30}));
+}
+
+TEST(MultiProgram, TracksInitialValues)
+{
+    MultiProgram mp("t");
+    EXPECT_EQ(mp.initialValue(5), 0u);
+    mp.setInitial(5, 99);
+    EXPECT_EQ(mp.initialValue(5), 99u);
+    mp.setInitial(5, 7);
+    EXPECT_EQ(mp.initialValue(5), 7u);
+}
+
+TEST(MultiProgram, NumRegistersIsMaxPlusOne)
+{
+    MultiProgram mp("t");
+    ProgramBuilder a, b;
+    a.load(2, 0);
+    b.load(5, 0);
+    mp.addProgram(a.build());
+    mp.addProgram(b.build());
+    EXPECT_EQ(mp.numProcs(), 2);
+    EXPECT_EQ(mp.numRegisters(), 6);
+}
+
+TEST(MultiProgram, TouchedAddrsIncludesInitials)
+{
+    MultiProgram mp("t");
+    ProgramBuilder a;
+    a.load(0, 1);
+    mp.addProgram(a.build());
+    mp.setInitial(7, 1);
+    auto addrs = mp.touchedAddrs();
+    EXPECT_EQ(addrs, (std::vector<Addr>{1, 7}));
+}
+
+} // namespace
+} // namespace wo

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the statistics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace wo {
+namespace {
+
+TEST(StatSet, CountersStartAtZero)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("nope"), 0u);
+    EXPECT_FALSE(s.has("nope"));
+}
+
+TEST(StatSet, IncAccumulates)
+{
+    StatSet s;
+    s.inc("a");
+    s.inc("a", 4);
+    EXPECT_EQ(s.get("a"), 5u);
+    EXPECT_TRUE(s.has("a"));
+}
+
+TEST(StatSet, SetOverwrites)
+{
+    StatSet s;
+    s.inc("a", 10);
+    s.set("a", 3);
+    EXPECT_EQ(s.get("a"), 3u);
+}
+
+TEST(StatSet, MaxOfKeepsMaximum)
+{
+    StatSet s;
+    s.maxOf("m", 5);
+    s.maxOf("m", 2);
+    s.maxOf("m", 9);
+    EXPECT_EQ(s.get("m"), 9u);
+}
+
+TEST(StatSet, MergeSums)
+{
+    StatSet a, b;
+    a.inc("x", 1);
+    a.inc("y", 2);
+    b.inc("y", 3);
+    b.inc("z", 4);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 1u);
+    EXPECT_EQ(a.get("y"), 5u);
+    EXPECT_EQ(a.get("z"), 4u);
+}
+
+TEST(StatSet, DumpFiltersByPrefix)
+{
+    StatSet s;
+    s.inc("cache.hits", 7);
+    s.inc("cache.misses", 3);
+    s.inc("net.msgs", 11);
+    std::ostringstream oss;
+    s.dump(oss, "cache.");
+    std::string out = oss.str();
+    EXPECT_NE(out.find("cache.hits"), std::string::npos);
+    EXPECT_NE(out.find("cache.misses"), std::string::npos);
+    EXPECT_EQ(out.find("net.msgs"), std::string::npos);
+}
+
+TEST(StatSet, ClearEmpties)
+{
+    StatSet s;
+    s.inc("a");
+    s.clear();
+    EXPECT_FALSE(s.has("a"));
+    EXPECT_TRUE(s.all().empty());
+}
+
+} // namespace
+} // namespace wo

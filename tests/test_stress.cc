@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Randomized stress tests: many seeds, tiny caches, multiple banks,
+ * racy and race-free workloads — after every run the coherence auditor
+ * must find nothing, the protocol must drain, and (for DRF0 workloads)
+ * the execution must appear SC.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/sc_verifier.hh"
+#include "system/system.hh"
+#include "workload/random_gen.hh"
+
+namespace wo {
+namespace {
+
+using StressParam = std::tuple<PolicyKind, bool, std::uint64_t>;
+
+class StressSweep : public ::testing::TestWithParam<StressParam>
+{
+};
+
+TEST_P(StressSweep, TinyCachesMultiBankStayCoherent)
+{
+    auto [policy, racy, seed] = GetParam();
+    RandomWorkloadConfig w;
+    w.numProcs = 4;
+    w.numLocks = 3;
+    w.locsPerLock = 4;
+    w.privateLocs = 4;
+    w.sectionsPerProc = 4;
+    w.opsPerSection = 4;
+    w.privateOpsBetween = 3;
+    w.seed = seed;
+    MultiProgram mp =
+        racy ? randomRacyProgram(w, 3) : randomDrf0Program(w);
+
+    SystemConfig cfg;
+    cfg.policy = policy;
+    cfg.numDirs = 2;
+    cfg.cache.numSets = 2;
+    cfg.cache.ways = 2;
+    cfg.net.seed = seed * 5 + 2;
+    cfg.net.jitter = 12;
+    System sys(mp, cfg);
+    ASSERT_TRUE(sys.run())
+        << sys.description() << " seed " << seed
+        << (racy ? " racy" : " drf0");
+
+    std::vector<std::string> problems = sys.auditCoherence();
+    EXPECT_TRUE(problems.empty()) << problems.front();
+
+    if (!racy) {
+        EXPECT_TRUE(verifySc(sys.trace()).sc())
+            << sys.description() << " seed " << seed;
+    }
+}
+
+std::string
+stressName(const ::testing::TestParamInfo<StressParam> &info)
+{
+    std::string s = toString(std::get<0>(info.param)) +
+                    (std::get<1>(info.param) ? "_racy_s" : "_drf0_s") +
+                    std::to_string(std::get<2>(info.param));
+    for (auto &c : s) {
+        if (c == '-')
+            c = '_';
+    }
+    return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, StressSweep,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::Sc, PolicyKind::Def1,
+                          PolicyKind::Def2Drf0, PolicyKind::Def2Drf1),
+        ::testing::Bool(),
+        ::testing::Values(1u, 2u, 3u, 4u)),
+    stressName);
+
+TEST(StressAudit, AuditCatchesPlantedViolation)
+{
+    // Sanity of the auditor itself: plant a second exclusive copy.
+    MultiProgram mp = randomDrf0Program({});
+    SystemConfig cfg;
+    System sys(mp, cfg);
+    ASSERT_TRUE(sys.run());
+    ASSERT_TRUE(sys.auditCoherence().empty());
+    Addr a = mp.touchedAddrs().front();
+    sys.cache(0)->pokeLine(a, LineState::Exclusive, 1);
+    sys.cache(1)->pokeLine(a, LineState::Exclusive, 2);
+    EXPECT_FALSE(sys.auditCoherence().empty());
+}
+
+TEST(StressAudit, UncachedSystemsAuditTrivially)
+{
+    SystemConfig cfg;
+    cfg.cached = false;
+    cfg.policy = PolicyKind::Sc;
+    MultiProgram mp = randomDrf0Program({});
+    System sys(mp, cfg);
+    ASSERT_TRUE(sys.run());
+    EXPECT_TRUE(sys.auditCoherence().empty());
+}
+
+TEST(StressLong, EightProcessorsHeavyContention)
+{
+    RandomWorkloadConfig w;
+    w.numProcs = 8;
+    w.numLocks = 2; // heavy contention
+    w.locsPerLock = 2;
+    w.sectionsPerProc = 5;
+    w.opsPerSection = 4;
+    w.seed = 42;
+    SystemConfig cfg;
+    cfg.policy = PolicyKind::Def2Drf1;
+    cfg.cache.numSets = 4;
+    cfg.cache.ways = 2;
+    cfg.maxTicks = 50000000;
+    System sys(randomDrf0Program(w), cfg);
+    ASSERT_TRUE(sys.run());
+    EXPECT_TRUE(sys.auditCoherence().empty());
+    EXPECT_TRUE(verifySc(sys.trace()).sc());
+}
+
+} // namespace
+} // namespace wo
