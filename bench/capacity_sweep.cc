@@ -13,11 +13,14 @@
 #include "bench_util.hh"
 #include "core/sc_verifier.hh"
 #include "system/system.hh"
+#include "workload/campaign.hh"
 #include "workload/random_gen.hh"
 
 namespace {
 
 using namespace wo;
+
+int g_threads = 0; // resolved in main() from --threads / WO_THREADS
 
 struct CapPoint
 {
@@ -32,9 +35,11 @@ struct CapPoint
 CapPoint
 runPoint(int num_sets, int ways, PolicyKind pk, int runs)
 {
-    CapPoint pt;
-    pt.runs = runs;
-    for (int s = 1; s <= runs; ++s) {
+    // One campaign job per seed; the order-stable reduce makes the
+    // sums identical to the old serial loop at any thread count.
+    Campaign campaign({g_threads, 1});
+    auto job = [&](const CampaignJob &jb) {
+        int s = jb.index + 1;
         RandomWorkloadConfig w;
         w.numProcs = 4;
         w.numLocks = 2;
@@ -50,19 +55,30 @@ runPoint(int num_sets, int ways, PolicyKind pk, int runs)
         cfg.net.seed = s * 11 + 1;
         cfg.maxTicks = 50000000;
         System sys(randomDrf0Program(w), cfg);
+        CapPoint one;
         if (!sys.run())
-            continue;
-        ++pt.completed;
-        pt.finish += sys.finishTick();
+            return one;
+        ++one.completed;
+        one.finish = sys.finishTick();
         for (int c = 0; c < 4; ++c) {
             std::string name = "cache" + std::to_string(c);
-            pt.writebacks += sys.stats().get(name + ".writebacks");
-            pt.misses += sys.stats().get(name + ".misses");
+            one.writebacks += sys.stats().get(name + ".writebacks");
+            one.misses += sys.stats().get(name + ".misses");
         }
         if (verifySc(sys.trace()).sc())
-            ++pt.sc;
-    }
-    return pt;
+            ++one.sc;
+        return one;
+    };
+    CapPoint init;
+    init.runs = runs;
+    return campaign.reduce<CapPoint, CapPoint>(
+        runs, job, init, [](CapPoint &acc, const CapPoint &one) {
+            acc.finish += one.finish;
+            acc.writebacks += one.writebacks;
+            acc.misses += one.misses;
+            acc.completed += one.completed;
+            acc.sc += one.sc;
+        });
 }
 
 void
@@ -133,6 +149,7 @@ BENCHMARK(BM_CapacityRun)->Arg(1)->Arg(4)->Arg(0);
 int
 main(int argc, char **argv)
 {
+    g_threads = wo::consumeThreadsFlag(argc, argv);
     printCapacityTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

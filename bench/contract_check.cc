@@ -15,12 +15,15 @@
 #include "bench_util.hh"
 #include "core/sc_verifier.hh"
 #include "system/system.hh"
+#include "workload/campaign.hh"
 #include "workload/litmus.hh"
 #include "workload/random_gen.hh"
 
 namespace {
 
 using namespace wo;
+
+int g_threads = 0; // resolved in main() from --threads / WO_THREADS
 
 RandomWorkloadConfig
 workloadCfg(std::uint64_t seed)
@@ -44,43 +47,58 @@ printContractTable()
         std::to_string(runs) + " seeds per policy");
     benchutil::Table t(
         {"policy", "runs appearing SC", "avg finish ticks"});
+    Campaign campaign({g_threads, 1});
     for (PolicyKind pk : {PolicyKind::Sc, PolicyKind::Def1,
                           PolicyKind::Def2Drf0, PolicyKind::Def2Drf1}) {
-        int sc_count = 0;
-        std::uint64_t ticks = 0;
-        for (int s = 1; s <= runs; ++s) {
-            MultiProgram mp = randomDrf0Program(workloadCfg(s));
-            SystemConfig cfg;
-            cfg.policy = pk;
-            cfg.net.seed = s * 31 + 7;
-            System sys(mp, cfg);
-            if (!sys.run())
-                continue;
-            ticks += sys.finishTick();
-            if (verifySc(sys.trace()).sc())
-                ++sc_count;
-        }
+        // Each seed is one campaign job: simulate, then verify the
+        // execution against the Definition 2 contract.
+        struct Run
+        {
+            std::uint64_t ticks = 0;
+            int sc = 0;
+        };
+        Run sum = campaign.reduce<Run, Run>(
+            runs,
+            [&](const CampaignJob &jb) {
+                int s = jb.index + 1;
+                MultiProgram mp = randomDrf0Program(workloadCfg(s));
+                SystemConfig cfg;
+                cfg.policy = pk;
+                cfg.net.seed = s * 31 + 7;
+                System sys(mp, cfg);
+                Run one;
+                if (!sys.run())
+                    return one;
+                one.ticks = sys.finishTick();
+                one.sc = verifySc(sys.trace()).sc() ? 1 : 0;
+                return one;
+            },
+            Run{}, [](Run &acc, const Run &one) {
+                acc.ticks += one.ticks;
+                acc.sc += one.sc;
+            });
         t.addRow({toString(pk),
-                  std::to_string(sc_count) + "/" + std::to_string(runs),
-                  std::to_string(ticks / runs)});
+                  std::to_string(sum.sc) + "/" + std::to_string(runs),
+                  std::to_string(sum.ticks / runs)});
     }
     t.print();
 
     // The negative control: racy code on the relaxed machine.
-    int violations = 0;
     const int neg_runs = 100;
-    for (int s = 1; s <= neg_runs; ++s) {
-        SystemConfig cfg;
-        cfg.policy = PolicyKind::Relaxed;
-        cfg.cached = false;
-        cfg.numMemModules = 2;
-        cfg.net.seed = s;
-        System sys(dekkerLitmus(), cfg);
-        if (!sys.run())
-            continue;
-        if (dekkerViolatesSc(sys.result()))
-            ++violations;
-    }
+    int violations = campaign.reduce<int, int>(
+        neg_runs,
+        [&](const CampaignJob &jb) {
+            SystemConfig cfg;
+            cfg.policy = PolicyKind::Relaxed;
+            cfg.cached = false;
+            cfg.numMemModules = 2;
+            cfg.net.seed = jb.index + 1;
+            System sys(dekkerLitmus(), cfg);
+            if (!sys.run())
+                return 0;
+            return dekkerViolatesSc(sys.result()) ? 1 : 0;
+        },
+        0, [](int &acc, const int &one) { acc += one; });
     std::cout << "\nNegative control: Dekker (racy) on the relaxed "
                  "machine violated SC in "
               << violations << "/" << neg_runs << " runs.\n";
@@ -116,6 +134,7 @@ BENCHMARK(BM_RunPlusVerify)
 int
 main(int argc, char **argv)
 {
+    g_threads = wo::consumeThreadsFlag(argc, argv);
     printContractTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

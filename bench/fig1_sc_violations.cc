@@ -16,11 +16,14 @@
 #include "bench_util.hh"
 #include "core/sc_verifier.hh"
 #include "system/system.hh"
+#include "workload/campaign.hh"
 #include "workload/litmus.hh"
 
 namespace {
 
 using namespace wo;
+
+int g_threads = 0; // resolved in main() from --threads / WO_THREADS
 
 struct Fig1Config
 {
@@ -66,19 +69,25 @@ int
 countViolations(const Fig1Config &fc, PolicyKind pk, int runs,
                 bool verify_sc)
 {
-    int violations = 0;
-    for (int s = 1; s <= runs; ++s) {
-        System sys(dekkerLitmus(), buildConfig(fc, pk, s));
-        if (!sys.run())
-            continue;
-        if (dekkerViolatesSc(sys.result())) {
-            ++violations;
+    // One seed per campaign job; each flagged run is cross-checked by
+    // the SC verifier inside its own job, so the verification work
+    // parallelizes along with the simulations.
+    Campaign campaign({g_threads, 1});
+    return campaign.reduce<int, int>(
+        runs,
+        [&](const CampaignJob &jb) {
+            int s = jb.index + 1;
+            System sys(dekkerLitmus(), buildConfig(fc, pk, s));
+            if (!sys.run())
+                return 0;
+            if (!dekkerViolatesSc(sys.result()))
+                return 0;
             if (verify_sc && verifySc(sys.trace()).sc()) {
                 std::cerr << "BUG: flagged outcome verified SC!\n";
             }
-        }
-    }
-    return violations;
+            return 1;
+        },
+        0, [](int &acc, const int &one) { acc += one; });
 }
 
 void
@@ -124,6 +133,7 @@ BENCHMARK(BM_DekkerRun)->DenseRange(0, 3);
 int
 main(int argc, char **argv)
 {
+    g_threads = wo::consumeThreadsFlag(argc, argv);
     printFig1Table();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -17,11 +17,14 @@
 
 #include "bench_util.hh"
 #include "system/system.hh"
+#include "workload/campaign.hh"
 #include "workload/random_gen.hh"
 
 namespace {
 
 using namespace wo;
+
+int g_threads = 0; // resolved in main() from --threads / WO_THREADS
 
 RandomWorkloadConfig
 workloadCfg(int sections, int ops, std::uint64_t seed)
@@ -41,23 +44,39 @@ workloadCfg(int sections, int ops, std::uint64_t seed)
 std::uint64_t
 avgTicks(PolicyKind pk, int sections, int ops, Tick net_base, int runs)
 {
-    std::uint64_t total = 0;
-    int completed = 0;
-    for (int s = 1; s <= runs; ++s) {
-        MultiProgram mp = randomDrf0Program(workloadCfg(sections, ops, s));
-        SystemConfig cfg;
-        cfg.policy = pk;
-        cfg.net.base = net_base;
-        cfg.net.jitter = net_base;
-        cfg.net.seed = s * 17 + 3;
-        cfg.maxTicks = 50000000;
-        System sys(mp, cfg);
-        if (!sys.run())
-            continue;
-        total += sys.finishTick();
-        ++completed;
-    }
-    return completed ? total / completed : 0;
+    // Seed sweep as a campaign: one job per seed, merged in seed order
+    // so the average is bit-identical to the old serial loop.
+    struct Run
+    {
+        std::uint64_t ticks = 0;
+        int completed = 0;
+    };
+    Campaign campaign({g_threads, 1});
+    Run sum = campaign.reduce<Run, Run>(
+        runs,
+        [&](const CampaignJob &jb) {
+            int s = jb.index + 1;
+            MultiProgram mp =
+                randomDrf0Program(workloadCfg(sections, ops, s));
+            SystemConfig cfg;
+            cfg.policy = pk;
+            cfg.net.base = net_base;
+            cfg.net.jitter = net_base;
+            cfg.net.seed = s * 17 + 3;
+            cfg.maxTicks = 50000000;
+            System sys(mp, cfg);
+            Run one;
+            if (!sys.run())
+                return one;
+            one.ticks = sys.finishTick();
+            one.completed = 1;
+            return one;
+        },
+        Run{}, [](Run &acc, const Run &one) {
+            acc.ticks += one.ticks;
+            acc.completed += one.completed;
+        });
+    return sum.completed ? sum.ticks / sum.completed : 0;
 }
 
 void
@@ -138,6 +157,7 @@ BENCHMARK(BM_Workload)
 int
 main(int argc, char **argv)
 {
+    g_threads = wo::consumeThreadsFlag(argc, argv);
     printThroughputTables();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

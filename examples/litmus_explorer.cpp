@@ -5,7 +5,7 @@
  * of uniprocessor optimizations break sequential consistency — and that
  * the SC issue discipline never does.
  *
- *   $ ./litmus_explorer [seeds]
+ *   $ ./litmus_explorer [seeds] [--threads=N]
  */
 
 #include <cstdlib>
@@ -14,11 +14,14 @@
 
 #include "core/sc_verifier.hh"
 #include "system/system.hh"
+#include "workload/campaign.hh"
 #include "workload/litmus.hh"
 
 namespace {
 
 using namespace wo;
+
+int g_threads = 0; // resolved in main() from --threads / WO_THREADS
 
 struct Config
 {
@@ -33,23 +36,26 @@ int
 violations(const MultiProgram &mp, const Config &c, PolicyKind pk,
            int seeds, bool (*bad)(const RunResult &))
 {
-    int count = 0;
-    for (int s = 1; s <= seeds; ++s) {
-        SystemConfig cfg;
-        cfg.policy = pk;
-        cfg.interconnect = c.ic;
-        cfg.cached = c.cached;
-        cfg.writeBuffer = pk == PolicyKind::Relaxed && c.wb;
-        cfg.warmCaches = c.warm;
-        cfg.numMemModules = 2;
-        cfg.net.seed = s;
-        System sys(mp, cfg);
-        if (!sys.run())
-            continue;
-        if (bad(sys.result()))
-            ++count;
-    }
-    return count;
+    // Every seed is an independent campaign job; the count is merged
+    // in seed order, so any --threads value prints identical numbers.
+    Campaign campaign({g_threads, 1});
+    return campaign.reduce<int, int>(
+        seeds,
+        [&](const CampaignJob &jb) {
+            SystemConfig cfg;
+            cfg.policy = pk;
+            cfg.interconnect = c.ic;
+            cfg.cached = c.cached;
+            cfg.writeBuffer = pk == PolicyKind::Relaxed && c.wb;
+            cfg.warmCaches = c.warm;
+            cfg.numMemModules = 2;
+            cfg.net.seed = jb.index + 1;
+            System sys(mp, cfg);
+            if (!sys.run())
+                return 0;
+            return bad(sys.result()) ? 1 : 0;
+        },
+        0, [](int &acc, const int &one) { acc += one; });
 }
 
 } // namespace
@@ -58,6 +64,7 @@ int
 main(int argc, char **argv)
 {
     using namespace wo;
+    g_threads = consumeThreadsFlag(argc, argv);
     int seeds = argc > 1 ? std::atoi(argv[1]) : 100;
 
     const Config configs[] = {

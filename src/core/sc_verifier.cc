@@ -1,56 +1,189 @@
 #include "core/sc_verifier.hh"
 
+#include <atomic>
 #include <map>
-#include <set>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
+
+#include "parallel/thread_pool.hh"
 
 namespace wo {
 
 namespace {
 
-/** FNV-1a style hash for memoization keys. */
-struct VecHash
+/** FNV-1a style hash over a span of key words. */
+inline std::uint64_t
+hashKeySpan(const std::uint64_t *v, std::size_t len)
 {
-    std::size_t
-    operator()(const std::vector<std::uint64_t> &v) const
-    {
-        std::uint64_t h = 1469598103934665603ull;
-        for (std::uint64_t x : v) {
-            h ^= x;
-            h *= 1099511628211ull;
-        }
-        return static_cast<std::size_t>(h);
+    // Salt with the span length and each element's position so keys
+    // that are permutations of each other (frequent among frontier
+    // states: same values at swapped indices) do not collide into the
+    // same bucket chains.
+    std::uint64_t h = 1469598103934665603ull ^
+                      (0x9e3779b97f4a7c15ull * (len + 1));
+    std::uint64_t pos = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= v[i] + 0x9e3779b97f4a7c15ull * ++pos;
+        h *= 1099511628211ull;
     }
+    return h;
+}
+
+/**
+ * A set of fixed-length keys stored back to back in one arena, so
+ * visiting a new search state costs no allocation (amortized) and
+ * membership tests touch contiguous memory.
+ */
+class KeyArenaSet
+{
+  public:
+    KeyArenaSet() = default;
+    KeyArenaSet(const KeyArenaSet &) = delete;
+    KeyArenaSet &operator=(const KeyArenaSet &) = delete;
+
+    /** Must be called before the first insert. */
+    void
+    setKeyLen(std::size_t keyLen)
+    {
+        len_ = keyLen ? keyLen : 1;
+    }
+
+    /** Insert the key currently staged at the arena's end. */
+    bool
+    insert(const std::vector<std::uint64_t> &key)
+    {
+        arena_.insert(arena_.end(), key.begin(), key.end());
+        arena_.resize((count_ + 1) * len_); // pad (defensive; key==len_)
+        Ref cand{static_cast<std::uint32_t>(count_)};
+        auto [it, fresh] = set_.emplace(cand);
+        (void)it;
+        if (fresh)
+            ++count_;
+        else
+            arena_.resize(count_ * len_);
+        return fresh;
+    }
+
+  private:
+    struct Ref
+    {
+        std::uint32_t index;
+    };
+    struct Hash
+    {
+        const KeyArenaSet *owner;
+        std::size_t
+        operator()(const Ref &r) const
+        {
+            return static_cast<std::size_t>(hashKeySpan(
+                owner->arena_.data() + r.index * owner->len_,
+                owner->len_));
+        }
+    };
+    struct Eq
+    {
+        const KeyArenaSet *owner;
+        bool
+        operator()(const Ref &a, const Ref &b) const
+        {
+            const std::uint64_t *base = owner->arena_.data();
+            return std::equal(base + a.index * owner->len_,
+                              base + (a.index + 1) * owner->len_,
+                              base + b.index * owner->len_);
+        }
+    };
+
+    std::size_t len_ = 1;
+    std::size_t count_ = 0;
+    std::vector<std::uint64_t> arena_;
+    std::unordered_set<Ref, Hash, Eq> set_{16, Hash{this}, Eq{this}};
+};
+
+/** State shared by the workers of one root-split verification. */
+struct SharedSearch
+{
+    /** Global state budget: fetch_add'ed by every worker, so
+     * limits.maxStates caps the whole search, not each worker. */
+    std::atomic<std::uint64_t> statesUsed{0};
+
+    /** Set once any branch finds a witness; others stop early. */
+    std::atomic<bool> found{false};
 };
 
 class Search
 {
   public:
-    Search(const ExecutionTrace &trace, const ScVerifierLimits &limits)
-        : trace_(trace), limits_(limits)
+    Search(const ExecutionTrace &trace, const ScVerifierLimits &limits,
+           SharedSearch *shared = nullptr)
+        : trace_(trace), acc_(trace.accesses().data()), limits_(limits),
+          shared_(shared)
     {
         int nprocs = trace.numProcs();
         for (ProcId p = 0; p < nprocs; ++p)
             seqs_.push_back(trace.accessesOf(p));
         idx_.assign(seqs_.size(), 0);
-        for (Addr a : trace.addrs())
-            mem_[a] = trace.initialValue(a);
         remaining_ = trace.size();
-        // Addresses touched by exactly one processor: accesses to them
-        // commute with everything and are scheduled eagerly.
-        std::map<Addr, ProcId> toucher;
-        for (const auto &a : trace.accesses()) {
-            auto it = toucher.find(a.addr);
-            if (it == toucher.end())
-                toucher[a.addr] = a.proc;
-            else if (it->second != a.proc)
-                it->second = kNoProc; // shared
+
+        // Intern addresses once: every per-location structure below is
+        // a dense vector indexed by address id, never a std::map.
+        std::unordered_map<Addr, int> addrId;
+        addrId.reserve(static_cast<std::size_t>(trace.size()));
+        std::vector<ProcId> toucher; // kNoProc = shared, -2 = unseen
+        auto intern = [&](Addr a) {
+            auto [it, fresh] =
+                addrId.emplace(a, static_cast<int>(mem_.size()));
+            if (fresh) {
+                mem_.push_back(trace.initialValue(a));
+                toucher.push_back(-2);
+            }
+            return it->second;
+        };
+
+        int n = trace.size();
+        accAddr_.resize(static_cast<std::size_t>(n));
+        accWriteSlot_.assign(static_cast<std::size_t>(n), -1);
+        accReadSlot_.assign(static_cast<std::size_t>(n), -1);
+
+        // Pass 1: addresses, single-toucher flags, and one counting
+        // slot per distinct (location, written value) pair.
+        std::map<std::pair<int, Word>, int> slotOf;
+        for (const Access &a : trace.accesses()) {
+            int aid = intern(a.addr);
+            accAddr_[static_cast<std::size_t>(a.id)] = aid;
+            if (toucher[static_cast<std::size_t>(aid)] == -2)
+                toucher[static_cast<std::size_t>(aid)] = a.proc;
+            else if (toucher[static_cast<std::size_t>(aid)] != a.proc)
+                toucher[static_cast<std::size_t>(aid)] = kNoProc;
+            if (a.writes()) {
+                auto [it, fresh] = slotOf.emplace(
+                    std::make_pair(aid, a.valueWritten),
+                    static_cast<int>(writersLeft_.size()));
+                if (fresh)
+                    writersLeft_.push_back(0);
+                accWriteSlot_[static_cast<std::size_t>(a.id)] = it->second;
+                ++writersLeft_[static_cast<std::size_t>(it->second)];
+            }
         }
-        for (const auto &[addr, p] : toucher) {
-            if (p != kNoProc)
-                private_.insert(addr);
+        // Pass 2: point each read at the slot counting pending writes
+        // of its expected value (-1: no write anywhere produces it).
+        for (const Access &a : trace.accesses()) {
+            if (!a.reads())
+                continue;
+            auto it = slotOf.find(std::make_pair(
+                accAddr_[static_cast<std::size_t>(a.id)], a.valueRead));
+            if (it != slotOf.end())
+                accReadSlot_[static_cast<std::size_t>(a.id)] = it->second;
         }
+        private_.resize(toucher.size());
+        for (std::size_t i = 0; i < toucher.size(); ++i) {
+            private_[i] = toucher[i] != kNoProc;
+            if (!private_[i])
+                sharedAddrs_.push_back(static_cast<int>(i));
+        }
+        keyScratch_.reserve(idx_.size() + sharedAddrs_.size());
+        visited_.setKeyLen(idx_.size() + sharedAddrs_.size());
     }
 
     ScReport
@@ -58,6 +191,69 @@ class Search
     {
         ScReport report;
         bool found = dfs(report);
+        finish(report, found);
+        return report;
+    }
+
+    /**
+     * Run the root drain only (for root-splitting).
+     *
+     * @return false if the drain already proves the trace not SC.
+     */
+    bool
+    rootDrain(ScReport &report)
+    {
+        return drain(report) >= 0;
+    }
+
+    /** All accesses scheduled? (After rootDrain: trivially SC.) */
+    bool done() const { return remaining_ == 0; }
+
+    /** Trace ids of the enabled per-processor head accesses. */
+    std::vector<int>
+    enabledHeads() const
+    {
+        std::vector<int> out;
+        for (std::size_t p = 0; p < seqs_.size(); ++p) {
+            if (idx_[p] >= seqs_[p].size())
+                continue;
+            const Access &a = acc_[seqs_[p][idx_[p]]];
+            if (a.reads() &&
+                mem_[static_cast<std::size_t>(
+                    accAddr_[static_cast<std::size_t>(a.id)])] !=
+                    a.valueRead)
+                continue;
+            out.push_back(a.id);
+        }
+        return out;
+    }
+
+    /**
+     * Worker entry for root-splitting: replay the (already validated)
+     * root prefix, take one enabled first-level branch, then search the
+     * remaining subtree.
+     */
+    ScReport
+    runSplit(const std::vector<int> &prefix, int branchAccessId)
+    {
+        ScReport report;
+        for (int id : prefix) {
+            const Access &a = trace_.at(id);
+            apply(a, static_cast<std::size_t>(a.proc), report);
+        }
+        const Access &b = trace_.at(branchAccessId);
+        apply(b, static_cast<std::size_t>(b.proc), report);
+        bool found = dfs(report);
+        if (found && shared_)
+            shared_->found.store(true, std::memory_order_relaxed);
+        finish(report, found);
+        return report;
+    }
+
+  private:
+    void
+    finish(ScReport &report, bool found)
+    {
         report.statesExplored = states_;
         if (found) {
             report.verdict = ScVerdict::Sc;
@@ -68,30 +264,38 @@ class Search
             report.verdict = ScVerdict::NotSc;
             report.witnessOrder.clear();
         }
-        return report;
     }
 
-  private:
-    std::vector<std::uint64_t>
-    key() const
+    /**
+     * Fill the reusable key buffer with this frontier state: per-proc
+     * indices plus the values of *shared* locations only. A private
+     * location's value is a function of its owner's index, so including
+     * it would only bloat the key. Reusing one scratch vector means a
+     * revisited state costs no allocation at all.
+     */
+    const std::vector<std::uint64_t> &
+    key()
     {
-        std::vector<std::uint64_t> k;
-        k.reserve(idx_.size() + mem_.size());
+        keyScratch_.clear();
         for (std::size_t i : idx_)
-            k.push_back(i);
-        for (const auto &[a, v] : mem_)
-            k.push_back(v);
-        return k;
+            keyScratch_.push_back(i);
+        for (int aid : sharedAddrs_)
+            keyScratch_.push_back(mem_[static_cast<std::size_t>(aid)]);
+        return keyScratch_;
     }
 
     void
     apply(const Access &a, std::size_t p, ScReport &report)
     {
+        int aid = accAddr_[static_cast<std::size_t>(a.id)];
         if (a.writes()) {
-            drain_undo_.push_back({a.addr, mem_[a.addr]});
-            mem_[a.addr] = a.valueWritten;
+            drain_undo_.push_back(
+                {aid, mem_[static_cast<std::size_t>(aid)], true});
+            mem_[static_cast<std::size_t>(aid)] = a.valueWritten;
+            --writersLeft_[static_cast<std::size_t>(
+                accWriteSlot_[static_cast<std::size_t>(a.id)])];
         } else {
-            drain_undo_.push_back({a.addr, ~Word{0}, false});
+            drain_undo_.push_back({aid, ~Word{0}, false});
         }
         ++idx_[p];
         --remaining_;
@@ -102,8 +306,12 @@ class Search
     unapply(std::size_t p, ScReport &report)
     {
         const DrainUndo &u = drain_undo_.back();
-        if (u.restore)
-            mem_[u.addr] = u.oldValue;
+        if (u.restore) {
+            mem_[static_cast<std::size_t>(u.addrId)] = u.oldValue;
+            ++writersLeft_[static_cast<std::size_t>(
+                accWriteSlot_[static_cast<std::size_t>(
+                    report.witnessOrder.back())])];
+        }
         drain_undo_.pop_back();
         --idx_[p];
         ++remaining_;
@@ -133,18 +341,19 @@ class Search
             for (std::size_t p = 0; p < seqs_.size(); ++p) {
                 if (idx_[p] >= seqs_[p].size())
                     continue;
-                const Access &a = trace_.at(seqs_[p][idx_[p]]);
-                bool is_private = private_.count(a.addr) > 0;
-                if (is_private) {
-                    if (a.reads() && mem_[a.addr] != a.valueRead) {
+                const Access &a = acc_[seqs_[p][idx_[p]]];
+                std::size_t aid = static_cast<std::size_t>(
+                    accAddr_[static_cast<std::size_t>(a.id)]);
+                if (private_[aid]) {
+                    if (a.reads() && mem_[aid] != a.valueRead) {
                         // Private state is deterministic: no
                         // interleaving can fix this read. Roll back and
                         // fail the whole branch.
                         while (drained > 0) {
                             // Find which proc the top entry belongs to:
                             // witnessOrder's back id maps to its proc.
-                            const Access &top = trace_.at(
-                                report.witnessOrder.back());
+                            const Access &top =
+                                acc_[report.witnessOrder.back()];
                             unapply(static_cast<std::size_t>(top.proc),
                                     report);
                             --drained;
@@ -156,9 +365,9 @@ class Search
                     progress = true;
                     continue;
                 }
-                if (a.reads() && mem_[a.addr] != a.valueRead)
+                if (a.reads() && mem_[aid] != a.valueRead)
                     continue; // not enabled
-                if (!a.writes() || a.valueWritten == mem_[a.addr]) {
+                if (!a.writes() || a.valueWritten == mem_[aid]) {
                     // Silent: enabled and leaves memory unchanged.
                     apply(a, p, report);
                     ++drained;
@@ -167,6 +376,51 @@ class Search
             }
         }
         return drained;
+    }
+
+    /**
+     * A pending head read that does not see its value, and whose value
+     * no still-pending write produces, can never become enabled — the
+     * whole state is dead. (Counting the reader's own later writes is
+     * conservative and keeps this sound.)
+     */
+    bool
+    deadlocked() const
+    {
+        for (std::size_t p = 0; p < seqs_.size(); ++p) {
+            if (idx_[p] >= seqs_[p].size())
+                continue;
+            const Access &a = acc_[seqs_[p][idx_[p]]];
+            if (!a.reads())
+                continue;
+            std::size_t aid = static_cast<std::size_t>(
+                accAddr_[static_cast<std::size_t>(a.id)]);
+            if (mem_[aid] == a.valueRead)
+                continue;
+            int slot = accReadSlot_[static_cast<std::size_t>(a.id)];
+            if (slot < 0 ||
+                writersLeft_[static_cast<std::size_t>(slot)] == 0)
+                return true;
+        }
+        return false;
+    }
+
+    /** Consume one unit of the (possibly shared) state budget. */
+    bool
+    acquireState()
+    {
+        if (shared_) {
+            if (shared_->statesUsed.fetch_add(
+                    1, std::memory_order_relaxed) >= limits_.maxStates) {
+                capped_ = true;
+                return false;
+            }
+        } else if (states_ >= limits_.maxStates) {
+            capped_ = true;
+            return false;
+        }
+        ++states_;
+        return true;
     }
 
     bool
@@ -178,7 +432,7 @@ class Search
         bool found = dfsBranch(report);
         if (!found) {
             while (drained > 0) {
-                const Access &top = trace_.at(report.witnessOrder.back());
+                const Access &top = acc_[report.witnessOrder.back()];
                 unapply(static_cast<std::size_t>(top.proc), report);
                 --drained;
             }
@@ -191,19 +445,23 @@ class Search
     {
         if (remaining_ == 0)
             return true;
-        if (states_ >= limits_.maxStates) {
-            capped_ = true;
+        if (shared_ && shared_->found.load(std::memory_order_relaxed))
             return false;
-        }
-        if (!visited_.insert(key()).second)
+        if (deadlocked())
             return false;
-        ++states_;
+        if (!visited_.insert(key()))
+            return false;
+        if (!acquireState())
+            return false;
 
         for (std::size_t p = 0; p < seqs_.size(); ++p) {
             if (idx_[p] >= seqs_[p].size())
                 continue;
-            const Access &a = trace_.at(seqs_[p][idx_[p]]);
-            if (a.reads() && mem_[a.addr] != a.valueRead)
+            const Access &a = acc_[seqs_[p][idx_[p]]];
+            if (a.reads() &&
+                mem_[static_cast<std::size_t>(
+                    accAddr_[static_cast<std::size_t>(a.id)])] !=
+                    a.valueRead)
                 continue; // not enabled: read value would be wrong
             apply(a, p, report);
             if (dfs(report))
@@ -215,22 +473,30 @@ class Search
 
     struct DrainUndo
     {
-        Addr addr;
+        int addrId;
         Word oldValue;
         bool restore = true;
     };
 
     const ExecutionTrace &trace_;
+    const Access *acc_; ///< trace_.accesses().data(), hot-path lookups
     const ScVerifierLimits &limits_;
+    SharedSearch *shared_;
     std::vector<std::vector<int>> seqs_;
     std::vector<std::size_t> idx_;
-    std::map<Addr, Word> mem_;
-    std::set<Addr> private_;
+    std::vector<Word> mem_;         ///< frontier memory, by address id
+    std::vector<char> private_;     ///< single-toucher flag, by address id
+    std::vector<int> accAddr_;      ///< access id -> address id
+    std::vector<int> accWriteSlot_; ///< access id -> (addr, value) slot
+    std::vector<int> accReadSlot_;  ///< access id -> slot, or -1
+    std::vector<int> writersLeft_;  ///< pending writes per (addr, value)
+    std::vector<int> sharedAddrs_; ///< address ids with >1 toucher
+    std::vector<std::uint64_t> keyScratch_; ///< reused by key()
     std::vector<DrainUndo> drain_undo_;
     int remaining_ = 0;
     std::uint64_t states_ = 0;
     bool capped_ = false;
-    std::unordered_set<std::vector<std::uint64_t>, VecHash> visited_;
+    KeyArenaSet visited_;
 };
 
 } // namespace
@@ -240,6 +506,55 @@ verifySc(const ExecutionTrace &trace, const ScVerifierLimits &limits)
 {
     Search s(trace, limits);
     return s.run();
+}
+
+ScReport
+verifyScParallel(const ExecutionTrace &trace, ThreadPool &pool,
+                 const ScVerifierLimits &limits)
+{
+    Search probe(trace, limits);
+    ScReport root;
+    if (!probe.rootDrain(root)) {
+        root.verdict = ScVerdict::NotSc;
+        root.witnessOrder.clear();
+        root.statesExplored = 0;
+        return root;
+    }
+    if (probe.done()) {
+        root.verdict = ScVerdict::Sc;
+        return root;
+    }
+    std::vector<int> branches = probe.enabledHeads();
+    if (pool.numThreads() <= 1 || branches.size() <= 1)
+        return verifySc(trace, limits);
+
+    SharedSearch shared;
+    std::vector<int> prefix = root.witnessOrder;
+    std::vector<ScReport> reports(branches.size());
+    parallelFor(pool, branches.size(), [&](std::size_t i) {
+        Search worker(trace, limits, &shared);
+        reports[i] = worker.runSplit(prefix, branches[i]);
+    });
+
+    // Order-stable aggregation: the lowest-index witnessing branch
+    // wins; state counts sum (each worker only counted states it was
+    // granted from the shared budget, so the sum respects maxStates).
+    ScReport agg;
+    agg.statesExplored = 0;
+    bool anyCapped = false;
+    for (const ScReport &r : reports) {
+        agg.statesExplored += r.statesExplored;
+        anyCapped |= r.verdict == ScVerdict::Unknown;
+    }
+    for (const ScReport &r : reports) {
+        if (r.verdict == ScVerdict::Sc) {
+            agg.verdict = ScVerdict::Sc;
+            agg.witnessOrder = r.witnessOrder;
+            return agg;
+        }
+    }
+    agg.verdict = anyCapped ? ScVerdict::Unknown : ScVerdict::NotSc;
+    return agg;
 }
 
 std::string

@@ -1,0 +1,62 @@
+#include "workload/campaign.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace wo {
+
+std::uint64_t
+campaignJobSeed(std::uint64_t baseSeed, int jobIndex)
+{
+    // splitmix64 finalizer over (baseSeed, index). Two rounds keep
+    // adjacent indices' streams statistically independent.
+    std::uint64_t z = baseSeed +
+                      0x9e3779b97f4a7c15ull *
+                          (static_cast<std::uint64_t>(jobIndex) + 1);
+    for (int round = 0; round < 2; ++round) {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+    }
+    return z;
+}
+
+int
+campaignThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("WO_THREADS")) {
+        int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+int
+consumeThreadsFlag(int &argc, char **argv)
+{
+    int threads = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--threads=", 10) == 0) {
+            threads = std::atoi(arg + 10);
+            continue;
+        }
+        if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+            threads = std::atoi(argv[i + 1]);
+            ++i;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return threads > 0 ? threads : 0;
+}
+
+} // namespace wo

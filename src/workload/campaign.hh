@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Campaign: run many independent simulation / verification jobs across
+ * hardware threads with results bit-identical to a serial run.
+ *
+ * A campaign is a fan of numbered jobs — seed sweeps, config sweeps,
+ * litmus enumerations, per-execution SC verifications, DRF0 checks. Each
+ * job receives its index and a deterministic RNG seed derived from
+ * (baseSeed, index) only, never from shared state or scheduling order;
+ * results land in a vector slot per job and are merged in index order.
+ * Running with N threads therefore produces exactly the bytes a
+ * numThreads=1 run produces.
+ */
+
+#ifndef WO_WORKLOAD_CAMPAIGN_HH
+#define WO_WORKLOAD_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hh"
+
+namespace wo {
+
+/** One unit of campaign work. */
+struct CampaignJob
+{
+    /** Job number in [0, numJobs). */
+    int index = 0;
+
+    /** This job's private RNG seed: a splitmix64 mix of (baseSeed,
+     * index). Equal for equal inputs on every platform and thread
+     * count. */
+    std::uint64_t seed = 0;
+};
+
+/** Deterministic per-job seed stream: seed = f(baseSeed, jobIndex). */
+std::uint64_t campaignJobSeed(std::uint64_t baseSeed, int jobIndex);
+
+/**
+ * Resolve a thread count: @p requested if positive, else the WO_THREADS
+ * environment variable if set to a positive integer, else one thread per
+ * hardware thread. Always at least 1.
+ */
+int campaignThreads(int requested = 0);
+
+/**
+ * Strip a `--threads=N` (or `--threads N`) argument from argv, shifting
+ * the remaining arguments down and updating argc.
+ *
+ * @return N, or 0 if the flag was absent (callers then fall back to
+ *         campaignThreads(0)'s env/hardware resolution).
+ */
+int consumeThreadsFlag(int &argc, char **argv);
+
+/** How a campaign runs. */
+struct CampaignConfig
+{
+    /** Worker threads; 0 resolves via campaignThreads(). */
+    int numThreads = 0;
+
+    /** Base of the per-job seed stream. */
+    std::uint64_t baseSeed = 1;
+};
+
+/**
+ * A reusable fan-out engine over one thread pool.
+ *
+ * map() is the primitive: run fn over numJobs jobs, return the results
+ * in job order. reduce() folds map()'s output left-to-right, so merged
+ * aggregates are also independent of the thread count.
+ */
+class Campaign
+{
+  public:
+    explicit Campaign(CampaignConfig cfg = {})
+        : cfg_(cfg), pool_(campaignThreads(cfg.numThreads))
+    {}
+
+    int numThreads() const { return pool_.numThreads(); }
+    std::uint64_t baseSeed() const { return cfg_.baseSeed; }
+
+    /** The underlying pool (e.g. for root-split SC verification). */
+    ThreadPool &pool() { return pool_; }
+
+    /** Run fn(job) for each job, results in job-index order. */
+    template <class Result>
+    std::vector<Result>
+    map(int numJobs, const std::function<Result(const CampaignJob &)> &fn)
+    {
+        std::vector<Result> out(static_cast<std::size_t>(numJobs));
+        parallelFor(pool_, static_cast<std::size_t>(numJobs),
+                    [&](std::size_t i) {
+                        CampaignJob job;
+                        job.index = static_cast<int>(i);
+                        job.seed = campaignJobSeed(cfg_.baseSeed,
+                                                   job.index);
+                        out[i] = fn(job);
+                    });
+        return out;
+    }
+
+    /** map() then fold in index order: order-stable aggregation. */
+    template <class Result, class Acc>
+    Acc
+    reduce(int numJobs,
+           const std::function<Result(const CampaignJob &)> &fn, Acc acc,
+           const std::function<void(Acc &, const Result &)> &merge)
+    {
+        for (const Result &r : map<Result>(numJobs, fn))
+            merge(acc, r);
+        return acc;
+    }
+
+  private:
+    CampaignConfig cfg_;
+    ThreadPool pool_;
+};
+
+} // namespace wo
+
+#endif // WO_WORKLOAD_CAMPAIGN_HH

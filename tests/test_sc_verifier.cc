@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/sc_verifier.hh"
+#include "parallel/thread_pool.hh"
 
 namespace wo {
 namespace {
@@ -257,6 +258,126 @@ TEST(ScVerifier, SilentSpinsAreCheap)
     ScReport r = verifySc(t);
     EXPECT_EQ(r.verdict, ScVerdict::Sc);
     EXPECT_LT(r.statesExplored, 500u);
+}
+
+TEST(ScVerifier, TinyCapOnBranchyTraceIsUnknown)
+{
+    // Two processors ping-ponging distinct values on one location: the
+    // very first frontier state already branches, so maxStates=1 must
+    // give up with Unknown — it cannot claim NotSc without exhausting.
+    ExecutionTrace t;
+    for (int p = 0; p < 2; ++p)
+        for (int i = 0; i < 3; ++i)
+            t.add(wr(p, i, 0, static_cast<Word>(100 * p + i)));
+    t.add(rd(0, 10, 1, 555)); // unsatisfiable, but only after searching
+    t.add(wr(1, 10, 1, 555)); // (a write of 555 exists, keeping the
+                              // pending-write pruning out of the way)
+    ScVerifierLimits lim;
+    lim.maxStates = 1;
+    ScReport r = verifySc(t, lim);
+    EXPECT_EQ(r.verdict, ScVerdict::Unknown);
+    EXPECT_TRUE(r.witnessOrder.empty());
+}
+
+TEST(ScVerifier, PendingWritePruningFailsFast)
+{
+    // P0's head read wants x=5, which no write anywhere produces, while
+    // P1/P2 generate a combinatorial interleaving space on y. Without
+    // the remaining-write-count pruning the search enumerates the y
+    // interleavings before concluding; with it, the root state is
+    // recognized as dead immediately.
+    ExecutionTrace t;
+    t.add(rd(0, 0, 0, 5));
+    t.add(wr(1, 0, 0, 1)); // x is shared, so the private-address drain
+                           // cannot shortcut the failure
+    for (int i = 1; i <= 6; ++i) {
+        t.add(wr(1, i, 1, static_cast<Word>(10 + i)));
+        t.add(wr(2, i, 1, static_cast<Word>(20 + i)));
+    }
+    ScReport r = verifySc(t);
+    EXPECT_EQ(r.verdict, ScVerdict::NotSc);
+    EXPECT_LT(r.statesExplored, 5u);
+}
+
+TEST(ScVerifier, RootSplitMatchesSerialVerdicts)
+{
+    ThreadPool pool(4);
+
+    ExecutionTrace dekkerBad;
+    dekkerBad.add(wr(0, 0, 0, 1));
+    dekkerBad.add(rd(0, 1, 1, 0));
+    dekkerBad.add(wr(1, 0, 1, 1));
+    dekkerBad.add(rd(1, 1, 0, 0));
+
+    ExecutionTrace dekkerOk;
+    dekkerOk.add(wr(0, 0, 0, 1));
+    dekkerOk.add(rd(0, 1, 1, 0));
+    dekkerOk.add(wr(1, 0, 1, 1));
+    dekkerOk.add(rd(1, 1, 0, 1));
+
+    ExecutionTrace racy;
+    for (int p = 0; p < 3; ++p)
+        for (int i = 0; i < 3; ++i) {
+            racy.add(wr(p, 2 * i, 7, static_cast<Word>(p * 10 + i)));
+            racy.add(rd(p, 2 * i + 1, 7, static_cast<Word>(p * 10 + i)));
+        }
+
+    for (const ExecutionTrace *t : {&dekkerBad, &dekkerOk, &racy}) {
+        ScReport serial = verifySc(*t);
+        ScReport par = verifyScParallel(*t, pool);
+        EXPECT_EQ(par.verdict, serial.verdict);
+    }
+}
+
+TEST(ScVerifier, RootSplitWitnessIsLegal)
+{
+    ThreadPool pool(4);
+    ExecutionTrace t;
+    for (int p = 0; p < 3; ++p)
+        for (int i = 0; i < 3; ++i) {
+            t.add(wr(p, 2 * i, 7, static_cast<Word>(p * 10 + i)));
+            t.add(rd(p, 2 * i + 1, 7, static_cast<Word>(p * 10 + i)));
+        }
+    ScReport r = verifyScParallel(t, pool);
+    ASSERT_TRUE(r.sc());
+    ASSERT_EQ(r.witnessOrder.size(), static_cast<std::size_t>(t.size()));
+    std::map<Addr, Word> mem;
+    std::map<ProcId, int> last_po;
+    for (int id : r.witnessOrder) {
+        const Access &a = t.at(id);
+        if (last_po.count(a.proc))
+            EXPECT_GT(a.poIndex, last_po[a.proc]);
+        last_po[a.proc] = a.poIndex;
+        if (a.reads()) {
+            Word cur = mem.count(a.addr) ? mem[a.addr]
+                                         : t.initialValue(a.addr);
+            EXPECT_EQ(cur, a.valueRead);
+        }
+        if (a.writes())
+            mem[a.addr] = a.valueWritten;
+    }
+}
+
+TEST(ScVerifier, RootSplitStateCapIsGlobal)
+{
+    // The branchy unsatisfiable trace from StateCapYieldsUnknown: under
+    // root-splitting the budget is one shared atomic, so the summed
+    // exploration must respect maxStates as a *global* cap (not
+    // maxStates per worker) and still report Unknown.
+    ExecutionTrace t;
+    for (int p = 0; p < 6; ++p) {
+        for (int i = 0; i < 4; ++i) {
+            t.add(wr(p, 2 * i, 0, static_cast<Word>(p * 10 + i)));
+            t.add(rd(p, 2 * i + 1, 0, static_cast<Word>(p * 10 + i)));
+        }
+    }
+    t.add(rd(0, 100, 0, 777)); // never written
+    ScVerifierLimits lim;
+    lim.maxStates = 50;
+    ThreadPool pool(4);
+    ScReport r = verifyScParallel(t, pool, lim);
+    EXPECT_EQ(r.verdict, ScVerdict::Unknown);
+    EXPECT_LE(r.statesExplored, lim.maxStates);
 }
 
 } // namespace
