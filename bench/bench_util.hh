@@ -2,18 +2,42 @@
  * @file
  * Shared helpers for the benchmark/reproduction binaries: aligned table
  * printing for the paper-style reports each bench emits before its
- * google-benchmark timings.
+ * google-benchmark timings, and common command-line flag handling.
  */
 
 #ifndef WO_BENCH_BENCH_UTIL_HH
 #define WO_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "workload/campaign.hh"
+
 namespace wo::benchutil {
+
+/** Flags shared by every bench binary. */
+struct BenchOptions
+{
+    int threads = 0;            ///< campaign workers; 0 = WO_THREADS/auto
+    std::uint64_t baseSeed = 1; ///< campaign seed-stream base
+};
+
+/**
+ * Strip the flags every bench understands (--threads=N / --threads N,
+ * honouring WO_THREADS, and --seed=S / --seed S) from argv before it is
+ * handed to google-benchmark, which rejects flags it does not know.
+ */
+inline BenchOptions
+consumeBenchFlags(int &argc, char **argv)
+{
+    BenchOptions opts;
+    opts.threads = consumeThreadsFlag(argc, argv);
+    opts.baseSeed = consumeSeedFlag(argc, argv);
+    return opts;
+}
 
 /** Prints an aligned table: header row then data rows. */
 class Table

@@ -20,7 +20,7 @@ namespace {
 
 using namespace wo;
 
-int g_threads = 0; // resolved in main() from --threads / WO_THREADS
+wo::benchutil::BenchOptions g_opts; // resolved in main() from --threads/--seed
 
 struct CapPoint
 {
@@ -37,7 +37,7 @@ runPoint(int num_sets, int ways, PolicyKind pk, int runs)
 {
     // One campaign job per seed; the order-stable reduce makes the
     // sums identical to the old serial loop at any thread count.
-    Campaign campaign({g_threads, 1});
+    Campaign campaign({g_opts.threads, g_opts.baseSeed});
     auto job = [&](const CampaignJob &jb) {
         int s = jb.index + 1;
         RandomWorkloadConfig w;
@@ -149,7 +149,7 @@ BENCHMARK(BM_CapacityRun)->Arg(1)->Arg(4)->Arg(0);
 int
 main(int argc, char **argv)
 {
-    g_threads = wo::consumeThreadsFlag(argc, argv);
+    g_opts = wo::benchutil::consumeBenchFlags(argc, argv);
     printCapacityTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -26,7 +26,7 @@ namespace {
 
 using namespace wo;
 
-int g_threads = 0; // resolved in main() from --threads / WO_THREADS
+wo::benchutil::BenchOptions g_opts; // resolved in main() from --threads/--seed
 
 ExecutionTrace
 traceFor(int sections, std::uint64_t seed)
@@ -58,7 +58,7 @@ printCampaignTable()
 {
     const int sizes = 6, seedsPer = 4;
     const int jobs = sizes * seedsPer;
-    Campaign campaign({g_threads, 1});
+    Campaign campaign({g_opts.threads, g_opts.baseSeed});
     benchutil::banner(
         "Verification campaign: " + std::to_string(jobs) +
         " executions (6 sizes x 4 seeds), " +
@@ -133,7 +133,7 @@ BM_ScVerifierRootSplit(benchmark::State &state)
 {
     // One verification, its first-level branches spread over the pool.
     ExecutionTrace t = traceFor(static_cast<int>(state.range(0)), 11);
-    ThreadPool pool(campaignThreads(g_threads));
+    ThreadPool pool(campaignThreads(g_opts.threads));
     std::uint64_t states = 0;
     for (auto _ : state) {
         ScReport r = verifyScParallel(t, pool);
@@ -154,7 +154,7 @@ BM_VerifyCampaign(benchmark::State &state)
     std::vector<ExecutionTrace> traces;
     for (std::uint64_t s = 11; s < 19; ++s)
         traces.push_back(traceFor(4, s));
-    Campaign campaign({g_threads, 1});
+    Campaign campaign({g_opts.threads, g_opts.baseSeed});
     for (auto _ : state) {
         std::vector<int> verdicts = campaign.map<int>(
             static_cast<int>(traces.size()),
@@ -267,7 +267,7 @@ BENCHMARK(BM_SimulatorThroughput);
 int
 main(int argc, char **argv)
 {
-    g_threads = wo::consumeThreadsFlag(argc, argv);
+    g_opts = wo::benchutil::consumeBenchFlags(argc, argv);
     printCampaignTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

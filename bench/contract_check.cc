@@ -23,7 +23,7 @@ namespace {
 
 using namespace wo;
 
-int g_threads = 0; // resolved in main() from --threads / WO_THREADS
+wo::benchutil::BenchOptions g_opts; // resolved in main() from --threads/--seed
 
 RandomWorkloadConfig
 workloadCfg(std::uint64_t seed)
@@ -47,7 +47,7 @@ printContractTable()
         std::to_string(runs) + " seeds per policy");
     benchutil::Table t(
         {"policy", "runs appearing SC", "avg finish ticks"});
-    Campaign campaign({g_threads, 1});
+    Campaign campaign({g_opts.threads, g_opts.baseSeed});
     for (PolicyKind pk : {PolicyKind::Sc, PolicyKind::Def1,
                           PolicyKind::Def2Drf0, PolicyKind::Def2Drf1}) {
         // Each seed is one campaign job: simulate, then verify the
@@ -134,7 +134,7 @@ BENCHMARK(BM_RunPlusVerify)
 int
 main(int argc, char **argv)
 {
-    g_threads = wo::consumeThreadsFlag(argc, argv);
+    g_opts = wo::benchutil::consumeBenchFlags(argc, argv);
     printContractTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -23,7 +23,7 @@ namespace {
 
 using namespace wo;
 
-int g_threads = 0; // resolved in main() from --threads / WO_THREADS
+wo::benchutil::BenchOptions g_opts; // resolved in main() from --threads/--seed
 
 struct Fig1Config
 {
@@ -72,7 +72,7 @@ countViolations(const Fig1Config &fc, PolicyKind pk, int runs,
     // One seed per campaign job; each flagged run is cross-checked by
     // the SC verifier inside its own job, so the verification work
     // parallelizes along with the simulations.
-    Campaign campaign({g_threads, 1});
+    Campaign campaign({g_opts.threads, g_opts.baseSeed});
     return campaign.reduce<int, int>(
         runs,
         [&](const CampaignJob &jb) {
@@ -133,7 +133,7 @@ BENCHMARK(BM_DekkerRun)->DenseRange(0, 3);
 int
 main(int argc, char **argv)
 {
-    g_threads = wo::consumeThreadsFlag(argc, argv);
+    g_opts = wo::benchutil::consumeBenchFlags(argc, argv);
     printFig1Table();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -24,7 +24,7 @@ namespace {
 
 using namespace wo;
 
-int g_threads = 0; // resolved in main() from --threads / WO_THREADS
+wo::benchutil::BenchOptions g_opts; // resolved in main() from --threads/--seed
 
 RandomWorkloadConfig
 workloadCfg(int sections, int ops, std::uint64_t seed)
@@ -51,7 +51,7 @@ avgTicks(PolicyKind pk, int sections, int ops, Tick net_base, int runs)
         std::uint64_t ticks = 0;
         int completed = 0;
     };
-    Campaign campaign({g_threads, 1});
+    Campaign campaign({g_opts.threads, g_opts.baseSeed});
     Run sum = campaign.reduce<Run, Run>(
         runs,
         [&](const CampaignJob &jb) {
@@ -157,7 +157,7 @@ BENCHMARK(BM_Workload)
 int
 main(int argc, char **argv)
 {
-    g_threads = wo::consumeThreadsFlag(argc, argv);
+    g_opts = wo::benchutil::consumeBenchFlags(argc, argv);
     printThroughputTables();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

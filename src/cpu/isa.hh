@@ -80,6 +80,13 @@ struct Instruction
     Addr addr = 0;
     int target = -1;
 
+    /** Field-wise equality (round-trip and differential tests). */
+    bool operator==(const Instruction &o) const
+    {
+        return op == o.op && dst == o.dst && src == o.src &&
+               imm == o.imm && addr == o.addr && target == o.target;
+    }
+
     /** True for opcodes that touch memory. */
     bool isMemOp() const;
 

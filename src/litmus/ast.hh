@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Abstract syntax of the litmus DSL: a herd-inspired text format for the
+ * programs the paper reasons about.
+ *
+ * A test is a name, an init section declaring every symbolic location
+ * (with an optional `sync` qualifier marking synchronization locations),
+ * a statement table with one column per processor, and a final
+ * `exists`/`forbidden` clause over registers and final memory values.
+ * See litmus_parser.hh for the concrete grammar.
+ */
+
+#ifndef WO_LITMUS_AST_HH
+#define WO_LITMUS_AST_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace wo {
+namespace litmus_dsl {
+
+/** One init-section entry: `loc = value [sync];`. */
+struct InitEntry
+{
+    std::string loc;
+    Word value = 0;
+    bool sync = false; ///< synchronization location (mapped after data)
+    int line = 0;      ///< 1-based source line
+};
+
+/**
+ * One statement cell of the program table: an optional label plus an
+ * optional instruction. Label-only cells bind the label to the column's
+ * next instruction (so several labels can share one target).
+ */
+struct Stmt
+{
+    std::string label;    ///< "" when the cell carries no label
+    std::string mnemonic; ///< lower-cased; "" for a label-only cell
+    int reg = -1;         ///< dst for load/test/tas/movi/addi, src for beq/bne
+    int reg2 = -1;        ///< addi source, or store/unset register operand
+    std::string loc;      ///< symbolic location operand ("" = none)
+    Word imm = 0;         ///< immediate operand
+    bool hasImm = false;  ///< immediate operand present
+    std::string target;   ///< branch target label
+    int count = 1;        ///< nop repeat count
+    int line = 0;         ///< 1-based source line
+};
+
+/** Comparison operator of a clause term. */
+enum class CmpOp { Eq, Ne };
+
+/** A node of the final-condition expression tree. */
+struct Cond
+{
+    enum class Kind {
+        And,     ///< all kids hold
+        Or,      ///< any kid holds
+        Not,     ///< single kid does not hold
+        RegTerm, ///< P<proc>:r<reg> <op> value
+        MemTerm, ///< <loc> <op> value (final memory)
+    };
+
+    Kind kind = Kind::RegTerm;
+    std::vector<Cond> kids; ///< And/Or: >= 2 children; Not: exactly 1
+
+    int proc = -1;   ///< RegTerm
+    int reg = -1;    ///< RegTerm
+    std::string loc; ///< MemTerm
+    CmpOp op = CmpOp::Eq;
+    Word value = 0;
+    int line = 0;
+};
+
+/** Flavour of the final clause. */
+enum class ClauseKind {
+    Exists,    ///< the condition must be observable (on the weakest policy)
+    Forbidden, ///< the condition must never hold where SC is promised
+};
+
+/** The final clause: `exists (c)` or `forbidden [always] (c)`. */
+struct Clause
+{
+    ClauseKind kind = ClauseKind::Forbidden;
+
+    /** `forbidden always`: enforced under every policy, not only the
+     * SC-promising ones (coherence / fence tests). */
+    bool always = false;
+
+    Cond cond;
+    int line = 0;
+};
+
+/** A complete parsed litmus test. */
+struct LitmusTest
+{
+    std::string name; ///< from the `name` line, else the file stem
+    std::string file; ///< source path (diagnostics)
+    std::vector<InitEntry> inits;
+    std::vector<std::vector<Stmt>> procs; ///< one statement list per column
+    Clause clause;
+};
+
+} // namespace litmus_dsl
+} // namespace wo
+
+#endif // WO_LITMUS_AST_HH

@@ -1,0 +1,145 @@
+#include "litmus/expect.hh"
+
+#include <sstream>
+#include <tuple>
+
+namespace wo {
+namespace litmus_dsl {
+
+namespace {
+
+Word
+regValue(const RunResult &r, int proc, int reg)
+{
+    if (proc < 0 || proc >= static_cast<int>(r.registers.size()))
+        return 0;
+    const std::vector<Word> &regs =
+        r.registers[static_cast<std::size_t>(proc)];
+    if (reg < 0 || reg >= static_cast<int>(regs.size()))
+        return 0;
+    return regs[static_cast<std::size_t>(reg)];
+}
+
+Word
+memValue(const RunResult &r, const std::map<std::string, Addr> &addrOf,
+         const std::string &loc)
+{
+    auto ait = addrOf.find(loc);
+    if (ait == addrOf.end())
+        return 0;
+    auto mit = r.finalMemory.find(ait->second);
+    return mit == r.finalMemory.end() ? 0 : mit->second;
+}
+
+void
+collectVars(const Cond &c, std::vector<ObservedVar> &out)
+{
+    switch (c.kind) {
+      case Cond::Kind::And:
+      case Cond::Kind::Or:
+      case Cond::Kind::Not:
+        for (const Cond &k : c.kids)
+            collectVars(k, out);
+        break;
+      case Cond::Kind::RegTerm:
+      case Cond::Kind::MemTerm: {
+        ObservedVar v;
+        if (c.kind == Cond::Kind::RegTerm) {
+            v.isReg = true;
+            v.proc = c.proc;
+            v.reg = c.reg;
+        } else {
+            v.isReg = false;
+            v.loc = c.loc;
+        }
+        for (const ObservedVar &seen : out) {
+            if (seen == v)
+                return;
+        }
+        out.push_back(std::move(v));
+        break;
+      }
+    }
+}
+
+} // namespace
+
+bool
+evalCond(const Cond &c, const RunResult &r,
+         const std::map<std::string, Addr> &addrOf)
+{
+    switch (c.kind) {
+      case Cond::Kind::And:
+        for (const Cond &k : c.kids) {
+            if (!evalCond(k, r, addrOf))
+                return false;
+        }
+        return true;
+      case Cond::Kind::Or:
+        for (const Cond &k : c.kids) {
+            if (evalCond(k, r, addrOf))
+                return true;
+        }
+        return false;
+      case Cond::Kind::Not:
+        return !evalCond(c.kids.at(0), r, addrOf);
+      case Cond::Kind::RegTerm: {
+        Word v = regValue(r, c.proc, c.reg);
+        return c.op == CmpOp::Eq ? v == c.value : v != c.value;
+      }
+      case Cond::Kind::MemTerm: {
+        Word v = memValue(r, addrOf, c.loc);
+        return c.op == CmpOp::Eq ? v == c.value : v != c.value;
+      }
+    }
+    return false;
+}
+
+bool
+ObservedVar::operator<(const ObservedVar &o) const
+{
+    return std::tie(isReg, proc, reg, loc) <
+           std::tie(o.isReg, o.proc, o.reg, o.loc);
+}
+
+bool
+ObservedVar::operator==(const ObservedVar &o) const
+{
+    return isReg == o.isReg && proc == o.proc && reg == o.reg &&
+           loc == o.loc;
+}
+
+std::string
+ObservedVar::toString() const
+{
+    if (isReg)
+        return "P" + std::to_string(proc) + ":r" + std::to_string(reg);
+    return loc;
+}
+
+std::vector<ObservedVar>
+observedVars(const Cond &c)
+{
+    std::vector<ObservedVar> out;
+    collectVars(c, out);
+    return out;
+}
+
+std::string
+outcomeKey(const std::vector<ObservedVar> &vars, const RunResult &r,
+           const std::map<std::string, Addr> &addrOf)
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (i)
+            oss << ' ';
+        const ObservedVar &v = vars[i];
+        Word val = v.isReg ? regValue(r, v.proc, v.reg)
+                           : memValue(r, addrOf, v.loc);
+        oss << v.toString() << '=' << val;
+    }
+    return oss.str();
+}
+
+} // namespace litmus_dsl
+} // namespace wo

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Expectation evaluation: does a concrete RunResult satisfy a litmus
+ * clause's condition, and what "outcome" did a run land on?
+ *
+ * The outcome key of a run is the tuple of values of every term the
+ * clause mentions (registers and final memory locations), rendered
+ * "P0:r0=0 P1:r0=1" — the unit the batch runner histograms, mirroring
+ * herd's per-final-state counts.
+ */
+
+#ifndef WO_LITMUS_EXPECT_HH
+#define WO_LITMUS_EXPECT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/trace.hh"
+#include "litmus/ast.hh"
+
+namespace wo {
+namespace litmus_dsl {
+
+/** Truth value of @p c against one run's observable result. Register
+ * terms index RunResult::registers; memory terms read finalMemory via
+ * @p addrOf (absent addresses read as @p initials, default 0). */
+bool evalCond(const Cond &c, const RunResult &r,
+              const std::map<std::string, Addr> &addrOf);
+
+/** One observed variable of a clause (a register or a location). */
+struct ObservedVar
+{
+    bool isReg = true;
+    int proc = -1;
+    int reg = -1;
+    std::string loc;
+
+    bool operator<(const ObservedVar &o) const;
+    bool operator==(const ObservedVar &o) const;
+
+    std::string toString() const; ///< "P0:r1" or "x"
+};
+
+/** The distinct variables mentioned by @p c, in first-mention order. */
+std::vector<ObservedVar> observedVars(const Cond &c);
+
+/** Render @p r projected onto @p vars: "P0:r0=0 P1:r0=1 x=2". */
+std::string outcomeKey(const std::vector<ObservedVar> &vars,
+                       const RunResult &r,
+                       const std::map<std::string, Addr> &addrOf);
+
+} // namespace litmus_dsl
+} // namespace wo
+
+#endif // WO_LITMUS_EXPECT_HH

@@ -1,0 +1,403 @@
+#include "litmus/runner.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/drf0_checker.hh"
+#include "core/sc_verifier.hh"
+#include "litmus/expect.hh"
+#include "workload/campaign.hh"
+
+namespace wo {
+namespace litmus_dsl {
+
+namespace {
+
+/** Result of one (test, policy, variant, seed) job. */
+struct JobOut
+{
+    bool ran = false;
+    bool finished = false;
+    bool hit = false;
+    int scStatus = -1; ///< -1 unverified, 0 ok, 1 violation, 2 unknown
+    std::string key;
+    StatSet stats;
+};
+
+/** Static description of one job (shared by all seeds of a cell). */
+struct CellPlan
+{
+    PolicyKind policy;
+    const SystemVariant *variant;
+};
+
+bool
+scPromised(PolicyKind policy, bool drf0)
+{
+    switch (policy) {
+      case PolicyKind::Sc:
+        return true;
+      case PolicyKind::Def1:
+      case PolicyKind::Def2Drf0:
+      case PolicyKind::Def2Drf1:
+        // Weakly ordered hardware promises SC results exactly for
+        // DRF0 software (the paper's Definition 2 contract; Definition
+        // 1 is strictly stronger).
+        return drf0;
+      case PolicyKind::Relaxed:
+        return false;
+    }
+    return false;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<SystemVariant>
+defaultVariants()
+{
+    return {
+        {"bus", InterconnectKind::Bus, /*cached=*/true,
+         /*writeBufferOnRelaxed=*/true, /*warmCaches=*/false},
+        {"net", InterconnectKind::Network, /*cached=*/true,
+         /*writeBufferOnRelaxed=*/false, /*warmCaches=*/true},
+        {"net-u", InterconnectKind::Network, /*cached=*/false,
+         /*writeBufferOnRelaxed=*/false, /*warmCaches=*/false,
+         /*netJitter=*/30},
+    };
+}
+
+std::vector<std::string>
+findLitmusFiles(const std::vector<std::string> &paths)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const std::string &p : paths) {
+        fs::path path(p);
+        if (fs::is_directory(path)) {
+            std::vector<std::string> here;
+            for (const fs::directory_entry &e :
+                 fs::directory_iterator(path)) {
+                if (e.is_regular_file() &&
+                    e.path().extension() == ".litmus") {
+                    here.push_back(e.path().string());
+                }
+            }
+            std::sort(here.begin(), here.end());
+            files.insert(files.end(), here.begin(), here.end());
+        } else if (fs::is_regular_file(path)) {
+            files.push_back(path.string());
+        } else {
+            throw std::runtime_error("no such file or directory: " + p);
+        }
+    }
+    return files;
+}
+
+CorpusReport
+runCorpus(const std::vector<CompiledLitmus> &tests,
+          const RunnerOptions &options,
+          const std::vector<SystemVariant> &variants)
+{
+    CorpusReport report;
+    report.seeds = options.seeds;
+    report.baseSeed = options.baseSeed;
+
+    Campaign campaign({options.threads, options.baseSeed});
+
+    for (const CompiledLitmus &test : tests) {
+        TestReport tr;
+        tr.name = test.name;
+        tr.file = test.file;
+        tr.clause = toString(test.clause);
+
+        // Sampled DRF0 verdict gates which policies promise SC results
+        // for this program (spin loops rule out exhaustive enumeration).
+        Drf0ProgramReport drf0 = checkProgramSampled(
+            test.program, options.drf0Schedules, options.baseSeed);
+        tr.drf0 = drf0.obeysDrf0;
+        tr.drf0Bounded = drf0.bounded;
+
+        std::vector<ObservedVar> vars = observedVars(test.clause.cond);
+
+        // Flatten policy x variant x seed into one deterministic fan.
+        std::vector<CellPlan> cells;
+        for (PolicyKind pk : options.policies) {
+            for (const SystemVariant &v : variants)
+                cells.push_back({pk, &v});
+        }
+        int per_cell = options.seeds;
+        int num_jobs = static_cast<int>(cells.size()) * per_cell;
+
+        std::vector<JobOut> outs = campaign.map<JobOut>(
+            num_jobs, [&](const CampaignJob &job) {
+                const CellPlan &plan =
+                    cells[static_cast<std::size_t>(job.index) /
+                          static_cast<std::size_t>(per_cell)];
+                JobOut out;
+                SystemConfig cfg;
+                cfg.policy = plan.policy;
+                cfg.cached = plan.variant->cached;
+                cfg.interconnect = plan.variant->interconnect;
+                cfg.writeBuffer = plan.policy == PolicyKind::Relaxed &&
+                                  plan.variant->writeBufferOnRelaxed;
+                cfg.warmCaches = plan.variant->warmCaches;
+                cfg.numMemModules = 2;
+                cfg.net.seed = job.seed;
+                cfg.net.jitter = plan.variant->netJitter;
+                try {
+                    System sys(test.program, cfg);
+                    out.ran = true;
+                    out.finished = sys.run();
+                    if (out.finished) {
+                        RunResult r = sys.result();
+                        // Clause locations the run never touched read
+                        // as their declared initial values.
+                        for (const auto &[loc, addr] : test.addrOf) {
+                            if (!r.finalMemory.count(addr)) {
+                                r.finalMemory[addr] =
+                                    test.program.initialValue(addr);
+                            }
+                        }
+                        out.hit =
+                            evalCond(test.clause.cond, r, test.addrOf);
+                        out.key = outcomeKey(vars, r, test.addrOf);
+                        if (options.verify) {
+                            ScReport sc = verifySc(
+                                sys.trace(),
+                                {options.maxVerifyStates});
+                            out.scStatus =
+                                sc.verdict == ScVerdict::Sc ? 0
+                                : sc.verdict == ScVerdict::NotSc ? 1
+                                                                 : 2;
+                        }
+                    }
+                    out.stats = sys.stats();
+                } catch (const std::invalid_argument &) {
+                    out.ran = false; // illegal config for this policy
+                }
+                return out;
+            });
+
+        // Aggregate in job order (byte-identical for any thread count).
+        for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+            CellReport cell;
+            cell.policy = cells[ci].policy;
+            cell.variant = cells[ci].variant->label;
+            for (int s = 0; s < per_cell; ++s) {
+                const JobOut &o =
+                    outs[ci * static_cast<std::size_t>(per_cell) +
+                         static_cast<std::size_t>(s)];
+                if (!o.ran)
+                    continue;
+                ++cell.runs;
+                if (!o.finished)
+                    continue;
+                ++cell.finished;
+                if (o.hit)
+                    ++cell.hits;
+                if (o.scStatus == 0)
+                    ++cell.scOk;
+                else if (o.scStatus == 1)
+                    ++cell.scViolations;
+                else if (o.scStatus == 2)
+                    ++cell.scUnknown;
+                ++cell.histogram[o.key];
+                report.stats.merge(o.stats);
+            }
+
+            bool promised = scPromised(cell.policy, tr.drf0);
+            if (test.clause.kind == ClauseKind::Forbidden) {
+                cell.enforced = promised || test.clause.always;
+                if (cell.enforced && cell.hits > 0) {
+                    cell.pass = false;
+                    cell.note = "forbidden outcome observed";
+                    tr.failures.push_back(
+                        toString(cell.policy) + "/" + cell.variant +
+                        ": forbidden outcome observed " +
+                        std::to_string(cell.hits) + "x");
+                } else if (!cell.enforced && cell.hits > 0) {
+                    cell.note = "permitted";
+                }
+            }
+            if (options.verify && promised && cell.scViolations > 0) {
+                cell.pass = false;
+                cell.note = cell.note.empty()
+                                ? "non-SC execution"
+                                : cell.note + "; non-SC execution";
+                tr.failures.push_back(
+                    toString(cell.policy) + "/" + cell.variant + ": " +
+                    std::to_string(cell.scViolations) +
+                    " executions proven not sequentially consistent");
+            }
+            tr.cells.push_back(std::move(cell));
+        }
+
+        // `exists` is judged over the whole Relaxed fan: the weak
+        // machine must exhibit the outcome somewhere.
+        if (test.clause.kind == ClauseKind::Exists) {
+            bool have_relaxed = false;
+            int relaxed_hits = 0;
+            for (const CellReport &cell : tr.cells) {
+                if (cell.policy == PolicyKind::Relaxed) {
+                    have_relaxed = true;
+                    relaxed_hits += cell.hits;
+                }
+            }
+            if (have_relaxed && relaxed_hits == 0) {
+                tr.failures.push_back(
+                    "exists condition never observed under Relaxed");
+            }
+        }
+
+        tr.pass = tr.failures.empty();
+        report.pass = report.pass && tr.pass;
+        report.tests.push_back(std::move(tr));
+    }
+    return report;
+}
+
+void
+printReport(std::ostream &os, const CorpusReport &report, bool histograms)
+{
+    for (const TestReport &tr : report.tests) {
+        os << "== " << tr.name << "  (" << tr.file << ")\n";
+        os << "   clause : " << tr.clause << "\n";
+        os << "   program: "
+           << (tr.drf0 ? "DRF0 (sampled)" : "racy (sampled)") << "\n";
+        os << "   " << std::left << std::setw(14) << "policy"
+           << std::setw(9) << "variant" << std::right << std::setw(6)
+           << "runs" << std::setw(6) << "done" << std::setw(6) << "hits"
+           << "  " << std::left << std::setw(15) << "sc:ok/not/unk"
+           << "verdict\n";
+        for (const CellReport &cell : tr.cells) {
+            std::string sc = std::to_string(cell.scOk) + "/" +
+                             std::to_string(cell.scViolations) + "/" +
+                             std::to_string(cell.scUnknown);
+            std::string verdict =
+                !cell.pass ? "FAIL"
+                : cell.enforced ? "pass"
+                                : "info";
+            if (!cell.note.empty())
+                verdict += " (" + cell.note + ")";
+            os << "   " << std::left << std::setw(14)
+               << toString(cell.policy) << std::setw(9) << cell.variant
+               << std::right << std::setw(6) << cell.runs << std::setw(6)
+               << cell.finished << std::setw(6) << cell.hits << "  "
+               << std::left << std::setw(15) << sc << verdict << "\n";
+        }
+        if (histograms) {
+            for (const CellReport &cell : tr.cells) {
+                if (cell.histogram.empty())
+                    continue;
+                os << "   outcomes [" << toString(cell.policy) << "/"
+                   << cell.variant << "]:";
+                for (const auto &[key, count] : cell.histogram)
+                    os << "  " << count << ":> {" << key << "}";
+                os << "\n";
+            }
+        }
+        os << "   " << (tr.pass ? "PASS" : "FAIL") << "\n";
+        for (const std::string &f : tr.failures)
+            os << "     - " << f << "\n";
+        os << "\n";
+    }
+
+    int passed = 0;
+    for (const TestReport &tr : report.tests)
+        passed += tr.pass ? 1 : 0;
+    os << (report.pass ? "PASS" : "FAIL") << ": " << passed << "/"
+       << report.tests.size() << " tests passed (" << report.seeds
+       << " seeds per policy/variant, base seed " << report.baseSeed
+       << ")\n";
+    for (const TestReport &tr : report.tests) {
+        if (!tr.pass)
+            os << "  failed: " << tr.name << " (" << tr.file << ")\n";
+    }
+}
+
+void
+writeJsonReport(std::ostream &os, const CorpusReport &report)
+{
+    os << "{\n";
+    os << "  \"seeds\": " << report.seeds << ",\n";
+    os << "  \"baseSeed\": " << report.baseSeed << ",\n";
+    os << "  \"pass\": " << (report.pass ? "true" : "false") << ",\n";
+    os << "  \"tests\": [\n";
+    for (std::size_t t = 0; t < report.tests.size(); ++t) {
+        const TestReport &tr = report.tests[t];
+        os << "    {\n";
+        os << "      \"name\": \"" << jsonEscape(tr.name) << "\",\n";
+        os << "      \"file\": \"" << jsonEscape(tr.file) << "\",\n";
+        os << "      \"clause\": \"" << jsonEscape(tr.clause) << "\",\n";
+        os << "      \"drf0\": " << (tr.drf0 ? "true" : "false") << ",\n";
+        os << "      \"drf0Bounded\": "
+           << (tr.drf0Bounded ? "true" : "false") << ",\n";
+        os << "      \"pass\": " << (tr.pass ? "true" : "false") << ",\n";
+        os << "      \"failures\": [";
+        for (std::size_t i = 0; i < tr.failures.size(); ++i) {
+            os << (i ? ", " : "") << "\"" << jsonEscape(tr.failures[i])
+               << "\"";
+        }
+        os << "],\n";
+        os << "      \"cells\": [\n";
+        for (std::size_t c = 0; c < tr.cells.size(); ++c) {
+            const CellReport &cell = tr.cells[c];
+            os << "        {\"policy\": \"" << toString(cell.policy)
+               << "\", \"variant\": \"" << jsonEscape(cell.variant)
+               << "\", \"runs\": " << cell.runs
+               << ", \"finished\": " << cell.finished
+               << ", \"hits\": " << cell.hits
+               << ", \"scOk\": " << cell.scOk
+               << ", \"scViolations\": " << cell.scViolations
+               << ", \"scUnknown\": " << cell.scUnknown
+               << ", \"enforced\": " << (cell.enforced ? "true" : "false")
+               << ", \"pass\": " << (cell.pass ? "true" : "false")
+               << ", \"histogram\": {";
+            bool first = true;
+            for (const auto &[key, count] : cell.histogram) {
+                os << (first ? "" : ", ") << "\"" << jsonEscape(key)
+                   << "\": " << count;
+                first = false;
+            }
+            os << "}}" << (c + 1 < tr.cells.size() ? "," : "") << "\n";
+        }
+        os << "      ]\n";
+        os << "    }" << (t + 1 < report.tests.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"stats\": ";
+    report.stats.dumpJson(os, "", 2);
+    os << "\n}\n";
+}
+
+} // namespace litmus_dsl
+} // namespace wo

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Batch litmus runner: fan a corpus of compiled litmus tests across
+ * seeds x consistency policies x system configurations on the Campaign
+ * engine, evaluate each run against the test's clause, and aggregate
+ * per-test outcome histograms plus PASS/FAIL verdicts.
+ *
+ * Determinism contract: every job's RNG seed derives from (baseSeed, job
+ * index) only and results merge in job-index order, so reports are
+ * byte-identical for any --threads value.
+ *
+ * Verdict semantics (per test):
+ *  - `forbidden (c)`: c must never be observed under a policy that
+ *    promises sequential consistency for the program — SC and Def1
+ *    always, the Definition 2 implementations when the program is DRF0
+ *    (sampled check). Hits under Relaxed (or under Def2 for racy
+ *    programs) are contract-permitted and only reported.
+ *  - `forbidden always (c)`: enforced under every policy (coherence and
+ *    fence tests, whose guarantee survives even the Relaxed machine).
+ *  - `exists (c)`: c must be observed at least once under the Relaxed
+ *    policy across the seed/config fan (the weak machine exhibits it);
+ *    other policies only report.
+ *  - Under the SC policy every recorded trace must additionally pass the
+ *    SC verifier; under Def1/Def2 policies the same holds when the
+ *    program is DRF0 (the paper's Definition 2 contract).
+ */
+
+#ifndef WO_LITMUS_RUNNER_HH
+#define WO_LITMUS_RUNNER_HH
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "consistency/policy.hh"
+#include "litmus/compiler.hh"
+#include "sim/stats.hh"
+#include "system/system.hh"
+
+namespace wo {
+namespace litmus_dsl {
+
+/** One hardware flavour every test runs on. */
+struct SystemVariant
+{
+    std::string label;
+    InterconnectKind interconnect = InterconnectKind::Network;
+
+    /** Cache-coherent system. Policies whose mechanisms need a cache
+     * (the Definition 2 implementations keep reserve bits there) are
+     * skipped on uncached variants — their cells report runs = 0. */
+    bool cached = true;
+
+    /** Enable write buffers when the policy is Relaxed (the classic
+     * Figure 1 reordering source on the bus). */
+    bool writeBufferOnRelaxed = false;
+
+    /** Start with warm caches (steady-state sharing). */
+    bool warmCaches = false;
+
+    /** Network latency jitter (ignored on the bus). Large values let
+     * same-processor stores to different memory modules reorder. */
+    Tick netJitter = 8;
+};
+
+/** The default three-variant set: "bus" (cached, +WB under Relaxed),
+ * "net" (cached, warm, jittered network), and "net-u" (uncached
+ * network, whose banked memory reorders same-processor writes — the
+ * Figure 1 case-2 configuration). */
+std::vector<SystemVariant> defaultVariants();
+
+/** Runner knobs. */
+struct RunnerOptions
+{
+    int seeds = 20;              ///< seeds per (policy, variant)
+    int threads = 0;             ///< 0: WO_THREADS / hardware
+    std::uint64_t baseSeed = 1;  ///< campaign seed-stream base
+    bool verify = true;          ///< SC-verify every recorded trace
+    std::uint64_t maxVerifyStates = 1000000;
+    int drf0Schedules = 200;     ///< sampled DRF0 check per test
+
+    std::vector<PolicyKind> policies = {
+        PolicyKind::Sc,
+        PolicyKind::Def1,
+        PolicyKind::Def2Drf0,
+        PolicyKind::Relaxed,
+    };
+};
+
+/** Aggregate of one test x policy x variant cell. */
+struct CellReport
+{
+    PolicyKind policy = PolicyKind::Sc;
+    std::string variant;
+
+    int runs = 0;
+    int finished = 0;    ///< runs where every processor halted
+    int hits = 0;        ///< finished runs satisfying the clause condition
+    int scOk = 0;        ///< traces the SC verifier accepted
+    int scViolations = 0;///< traces proven not sequentially consistent
+    int scUnknown = 0;   ///< verifier state-cap exceeded
+
+    bool enforced = false; ///< this cell's hits gate PASS/FAIL
+    bool pass = true;
+    std::string note; ///< short reason shown in the table
+
+    /** Outcome-key -> count over finished runs. */
+    std::map<std::string, int> histogram;
+};
+
+/** Aggregate of one test over the whole fan. */
+struct TestReport
+{
+    std::string name;
+    std::string file;
+    std::string clause; ///< rendered source form
+
+    bool drf0 = false;        ///< sampled DRF0 verdict
+    bool drf0Bounded = true;  ///< verdict is a bounded guarantee
+
+    std::vector<CellReport> cells; ///< policy-major, variant-minor order
+
+    bool pass = true;
+    std::vector<std::string> failures; ///< human-readable reasons
+};
+
+/** Whole-corpus result. */
+struct CorpusReport
+{
+    std::vector<TestReport> tests;
+    bool pass = true;
+    int seeds = 0;
+    std::uint64_t baseSeed = 1;
+
+    /** Simulation stats merged over every run, in job order. */
+    StatSet stats;
+};
+
+/**
+ * Collect .litmus files from files and/or directories (directories are
+ * scanned non-recursively, entries sorted by name). Throws
+ * std::runtime_error for paths that do not exist.
+ */
+std::vector<std::string>
+findLitmusFiles(const std::vector<std::string> &paths);
+
+/** Run the corpus; deterministic for fixed (options, variants). */
+CorpusReport runCorpus(const std::vector<CompiledLitmus> &tests,
+                       const RunnerOptions &options,
+                       const std::vector<SystemVariant> &variants =
+                           defaultVariants());
+
+/** Human-readable report: per-test tables, histograms, final summary. */
+void printReport(std::ostream &os, const CorpusReport &report,
+                 bool histograms = true);
+
+/** Machine-readable JSON report (stable key order). */
+void writeJsonReport(std::ostream &os, const CorpusReport &report);
+
+} // namespace litmus_dsl
+} // namespace wo
+
+#endif // WO_LITMUS_RUNNER_HH

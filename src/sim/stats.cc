@@ -61,4 +61,35 @@ StatSet::dump(std::ostream &os, const std::string &prefix_filter) const
     }
 }
 
+void
+StatSet::dumpJson(std::ostream &os, const std::string &prefix_filter,
+                  int indent) const
+{
+    // Names are "component.stat" identifiers; escape the JSON string
+    // metacharacters anyway so arbitrary names stay well-formed.
+    auto escape = [](const std::string &s) {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    bool any = false;
+    os << "{";
+    for (const auto &[k, v] : values_) {
+        if (k.rfind(prefix_filter, 0) != 0)
+            continue;
+        os << (any ? ",\n" : "\n") << pad << "  \"" << escape(k)
+           << "\": " << v;
+        any = true;
+    }
+    if (any)
+        os << "\n" << pad;
+    os << "}";
+}
+
 } // namespace wo

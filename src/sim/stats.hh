@@ -55,6 +55,17 @@ class StatSet
     /** Pretty-print as an aligned two-column table. */
     void dump(std::ostream &os, const std::string &prefix_filter = "") const;
 
+    /**
+     * Emit as a JSON object ({"name": value, ...}, keys sorted), for
+     * machine-readable reports (`wo-litmus --json`, bench harnesses).
+     *
+     * @param prefix_filter keep only counters whose name starts with it.
+     * @param indent leading spaces on every line after the first, so the
+     *        object can be embedded in a larger document.
+     */
+    void dumpJson(std::ostream &os, const std::string &prefix_filter = "",
+                  int indent = 0) const;
+
   private:
     std::map<std::string, std::uint64_t> values_;
 };

@@ -59,4 +59,26 @@ consumeThreadsFlag(int &argc, char **argv)
     return threads > 0 ? threads : 0;
 }
 
+std::uint64_t
+consumeSeedFlag(int &argc, char **argv, std::uint64_t fallback)
+{
+    std::uint64_t seed = fallback;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--seed=", 7) == 0) {
+            seed = std::strtoull(arg + 7, nullptr, 10);
+            continue;
+        }
+        if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+            seed = std::strtoull(argv[i + 1], nullptr, 10);
+            ++i;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return seed;
+}
+
 } // namespace wo

@@ -54,6 +54,15 @@ int campaignThreads(int requested = 0);
  */
 int consumeThreadsFlag(int &argc, char **argv);
 
+/**
+ * Strip a `--seed=S` (or `--seed S`) argument from argv, shifting the
+ * remaining arguments down and updating argc.
+ *
+ * @return S, or @p fallback if the flag was absent.
+ */
+std::uint64_t consumeSeedFlag(int &argc, char **argv,
+                              std::uint64_t fallback = 1);
+
 /** How a campaign runs. */
 struct CampaignConfig
 {

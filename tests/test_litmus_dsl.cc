@@ -1,0 +1,365 @@
+/**
+ * @file
+ * The litmus DSL frontend: parser happy paths and diagnostics (every
+ * malformed input must throw LitmusError with a file:line, never
+ * crash), the compiler's data-then-sync address map, the expectation
+ * evaluator, and the batch runner's thread-count determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "litmus/compiler.hh"
+#include "litmus/expect.hh"
+#include "litmus/parser.hh"
+#include "litmus/runner.hh"
+
+namespace wo {
+namespace litmus_dsl {
+namespace {
+
+const char *kMp = R"(
+# two-processor message passing
+name mini-mp
+
+init {
+    data = 0;
+    s = 1 sync;
+}
+
+P0              | P1              ;
+store data, 42  | w: test r0, s   ;
+unset s, 0      | bne r0, 0, w    ;
+halt            | load r1, data   ;
+                | halt            ;
+
+forbidden (P1:r1 != 42)
+)";
+
+TEST(LitmusParser, ParsesMessagePassing)
+{
+    LitmusTest t = parseLitmus(kMp, "mini.litmus");
+    EXPECT_EQ(t.name, "mini-mp");
+    ASSERT_EQ(t.inits.size(), 2u);
+    EXPECT_EQ(t.inits[0].loc, "data");
+    EXPECT_EQ(t.inits[0].value, 0u);
+    EXPECT_FALSE(t.inits[0].sync);
+    EXPECT_EQ(t.inits[1].loc, "s");
+    EXPECT_EQ(t.inits[1].value, 1u);
+    EXPECT_TRUE(t.inits[1].sync);
+
+    ASSERT_EQ(t.procs.size(), 2u);
+    ASSERT_EQ(t.procs[0].size(), 3u);
+    EXPECT_EQ(t.procs[0][0].mnemonic, "store");
+    EXPECT_EQ(t.procs[0][0].loc, "data");
+    EXPECT_EQ(t.procs[0][0].imm, 42u);
+    ASSERT_EQ(t.procs[1].size(), 4u);
+    EXPECT_EQ(t.procs[1][0].label, "w");
+    EXPECT_EQ(t.procs[1][0].mnemonic, "test");
+    EXPECT_EQ(t.procs[1][1].mnemonic, "bne");
+    EXPECT_EQ(t.procs[1][1].target, "w");
+
+    EXPECT_EQ(t.clause.kind, ClauseKind::Forbidden);
+    EXPECT_FALSE(t.clause.always);
+    EXPECT_EQ(toString(t.clause), "forbidden (P1:r1 != 42)");
+}
+
+TEST(LitmusParser, DefaultsNameToFileStem)
+{
+    LitmusTest t = parseLitmus(
+        "init { x = 0; }\nP0 ;\nhalt ;\nexists (P0:r0 == 0)\n",
+        "dir/some_test.litmus");
+    EXPECT_EQ(t.name, "some_test");
+}
+
+TEST(LitmusParser, ParsesConditionGrammar)
+{
+    LitmusTest t = parseLitmus(
+        "init { x = 0; y = 0; }\n"
+        "P0 | P1 ;\n"
+        "load r0, x | load r0, y ;\n"
+        "halt | halt ;\n"
+        "exists (!(P0:r0 == 1 && P1:r0 == 1) || x != 0)\n",
+        "c.litmus");
+    EXPECT_EQ(t.clause.kind, ClauseKind::Exists);
+    EXPECT_EQ(toString(t.clause.cond),
+              "(!(P0:r0 == 1 && P1:r0 == 1) || x != 0)");
+}
+
+/** Expects parse/compile of @p src to fail at @p line of f.litmus. */
+void
+expectErrorAt(const std::string &src, int line, const char *what_substr)
+{
+    try {
+        compileLitmus(parseLitmus(src, "f.litmus"));
+        FAIL() << "expected LitmusError: " << what_substr;
+    } catch (const LitmusError &e) {
+        EXPECT_EQ(e.file(), "f.litmus") << e.what();
+        EXPECT_EQ(e.line(), line) << e.what();
+        EXPECT_NE(std::string(e.what()).find("f.litmus:"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find(what_substr),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(LitmusParserErrors, MissingInitSection)
+{
+    expectErrorAt("name t\nP0 ;\nhalt ;\nexists (P0:r0 == 0)\n", 2,
+                  "init");
+}
+
+TEST(LitmusParserErrors, MalformedInitLine)
+{
+    expectErrorAt("init {\n  x 1;\n}\nP0 ;\nhalt ;\n"
+                  "exists (P0:r0 == 0)\n",
+                  2, "'='");
+}
+
+TEST(LitmusParserErrors, DuplicateInitLocation)
+{
+    expectErrorAt("init { x = 0;\n  x = 1; }\nP0 ;\nhalt ;\n"
+                  "exists (P0:r0 == 0)\n",
+                  2, "already declared");
+}
+
+TEST(LitmusParserErrors, UnknownMnemonic)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\nfrobnicate r0, x ;\nhalt ;\n"
+                  "exists (P0:r0 == 0)\n",
+                  3, "unknown mnemonic");
+}
+
+TEST(LitmusParserErrors, BadRegisterName)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\nload q7, x ;\nhalt ;\n"
+                  "exists (P0:r0 == 0)\n",
+                  3, "register");
+}
+
+TEST(LitmusParserErrors, UnbalancedExistsClause)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\nhalt ;\n"
+                  "exists (P0:r0 == 0\n",
+                  4, "')'");
+}
+
+TEST(LitmusParserErrors, ClauseMissingParenthesis)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\nhalt ;\nexists P0:r0 == 0\n", 4,
+                  "'('");
+}
+
+TEST(LitmusParserErrors, MissingClause)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\nhalt ;\n", 3, "clause");
+}
+
+TEST(LitmusParserErrors, TrailingGarbageAfterClause)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\nhalt ;\n"
+                  "exists (P0:r0 == 0)\nwhatever\n",
+                  5, "after the final clause");
+}
+
+TEST(LitmusParserErrors, RowWithTooManyCells)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\nhalt | halt ;\n"
+                  "exists (P0:r0 == 0)\n",
+                  3, "cells");
+}
+
+TEST(LitmusCompilerErrors, UndeclaredLocation)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\nload r0, y ;\nhalt ;\n"
+                  "exists (P0:r0 == 0)\n",
+                  3, "undeclared");
+}
+
+TEST(LitmusCompilerErrors, SyncMnemonicOnDataLocation)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\ntas r0, x ;\nhalt ;\n"
+                  "exists (P0:r0 == 0)\n",
+                  3, "sync");
+}
+
+TEST(LitmusCompilerErrors, UnknownBranchLabel)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\nbeq r0, 0, nowhere ;\nhalt ;\n"
+                  "exists (P0:r0 == 0)\n",
+                  3, "label");
+}
+
+TEST(LitmusCompilerErrors, DuplicateLabel)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\na: nop ;\na: nop ;\nhalt ;\n"
+                  "exists (P0:r0 == 0)\n",
+                  4, "duplicate label");
+}
+
+TEST(LitmusCompilerErrors, ClauseProcOutOfRange)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\nhalt ;\n"
+                  "exists (P7:r0 == 0)\n",
+                  4, "processor");
+}
+
+TEST(LitmusCompilerErrors, ClauseLocationUndeclared)
+{
+    expectErrorAt("init { x = 0; }\nP0 ;\nhalt ;\nexists (zz == 0)\n", 4,
+                  "undeclared");
+}
+
+TEST(LitmusParserErrors, GarbageNeverCrashes)
+{
+    const char *garbage[] = {
+        "",
+        "}{",
+        "name\n",
+        "init {",
+        "init { = ; }",
+        "P0 | | P1 ;",
+        "exists ()",
+        "init { x = 99999999999999999999; }",
+        "\xff\xfe\x00garbage",
+        "init { x = 0; } P0 ; halt ; forbidden always P0:r0",
+    };
+    for (const char *src : garbage)
+        EXPECT_THROW(parseLitmus(src, "g.litmus"), LitmusError) << src;
+}
+
+TEST(LitmusCompiler, InternsDataBeforeSyncInDeclarationOrder)
+{
+    CompiledLitmus c = compileLitmus(parseLitmus(
+        "init { s = 1 sync; b = 0; a = 0; t = 0 sync; }\n"
+        "P0 ;\n"
+        "store a, 1 ;\n"
+        "store b, 2 ;\n"
+        "unset s, 0 ;\n"
+        "tas r0, t ;\n"
+        "halt ;\n"
+        "forbidden (a == 0)\n",
+        "order.litmus"));
+    ASSERT_EQ(c.dataLocs.size(), 2u);
+    ASSERT_EQ(c.syncLocs.size(), 2u);
+    EXPECT_EQ(c.addrOf.at("b"), 0u);
+    EXPECT_EQ(c.addrOf.at("a"), 1u);
+    EXPECT_EQ(c.addrOf.at("s"), 2u);
+    EXPECT_EQ(c.addrOf.at("t"), 3u);
+    // Nonzero declared initials reach the program image.
+    EXPECT_EQ(c.program.initialValue(c.addrOf.at("s")), 1u);
+    EXPECT_EQ(c.program.initialValue(c.addrOf.at("a")), 0u);
+}
+
+TEST(LitmusCompiler, AppendsImplicitHalt)
+{
+    CompiledLitmus c = compileLitmus(parseLitmus(
+        "init { x = 0; }\nP0 ;\nstore x, 1 ;\nexists (x == 1)\n",
+        "h.litmus"));
+    const Program &p = c.program.program(0);
+    ASSERT_GE(p.size(), 2u);
+    EXPECT_EQ(p.at(p.size() - 1).op, Opcode::Halt);
+}
+
+RunResult
+fakeResult()
+{
+    RunResult r;
+    r.allHalted = true;
+    r.registers = {{1, 0}, {0, 7}};
+    r.finalMemory[0] = 42;
+    return r;
+}
+
+TEST(LitmusExpect, EvaluatesBooleanStructure)
+{
+    std::map<std::string, Addr> addrs{{"x", 0}, {"y", 1}};
+    RunResult r = fakeResult();
+    LitmusTest t = parseLitmus(
+        "init { x = 0; y = 0; }\n"
+        "P0 | P1 ;\n"
+        "halt | halt ;\n"
+        "exists ((P0:r0 == 1 && P1:r1 == 7 && x == 42) || y != 0)\n",
+        "e.litmus");
+    EXPECT_TRUE(evalCond(t.clause.cond, r, addrs));
+
+    LitmusTest f = parseLitmus(
+        "init { x = 0; y = 0; }\n"
+        "P0 | P1 ;\n"
+        "halt | halt ;\n"
+        "exists (!(P0:r0 == 1) || y == 3)\n",
+        "e.litmus");
+    EXPECT_FALSE(evalCond(f.clause.cond, r, addrs));
+}
+
+TEST(LitmusExpect, MissingRegistersAndMemoryReadAsZero)
+{
+    std::map<std::string, Addr> addrs{{"y", 9}};
+    RunResult r = fakeResult();
+    LitmusTest t = parseLitmus(
+        "init { y = 0; }\nP0 ;\nhalt ;\n"
+        "exists (P0:r63 == 0 && y == 0)\n",
+        "z.litmus");
+    EXPECT_TRUE(evalCond(t.clause.cond, r, addrs));
+}
+
+TEST(LitmusExpect, OutcomeKeyProjectsFirstMentionOrder)
+{
+    std::map<std::string, Addr> addrs{{"x", 0}};
+    LitmusTest t = parseLitmus(
+        "init { x = 0; }\n"
+        "P0 | P1 ;\n"
+        "halt | halt ;\n"
+        "exists (P1:r1 == 7 && x == 42 && P0:r0 == 1 && P1:r1 == 0)\n",
+        "k.litmus");
+    std::vector<ObservedVar> vars = observedVars(t.clause.cond);
+    ASSERT_EQ(vars.size(), 3u); // the duplicate P1:r1 deduplicates
+    EXPECT_EQ(outcomeKey(vars, fakeResult(), addrs),
+              "P1:r1=7 x=42 P0:r0=1");
+}
+
+TEST(LitmusRunner, ReportsAreIdenticalAcrossThreadCounts)
+{
+    std::vector<CompiledLitmus> corpus;
+    corpus.push_back(compileLitmus(parseLitmus(kMp, "mini.litmus")));
+    corpus.push_back(compileLitmus(parseLitmus(
+        "name sb\ninit { x = 0; y = 0; }\n"
+        "P0 | P1 ;\n"
+        "store x, 1 | store y, 1 ;\n"
+        "load r0, y | load r0, x ;\n"
+        "halt | halt ;\n"
+        "exists (P0:r0 == 0 && P1:r0 == 0)\n",
+        "sb.litmus")));
+
+    RunnerOptions opt;
+    opt.seeds = 4;
+    opt.drf0Schedules = 40;
+    opt.policies = {PolicyKind::Sc, PolicyKind::Relaxed};
+
+    std::string out[2], json[2];
+    int threads[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        opt.threads = threads[i];
+        CorpusReport rep = runCorpus(corpus, opt);
+        std::ostringstream os, js;
+        printReport(os, rep, /*histograms=*/true);
+        writeJsonReport(js, rep);
+        out[i] = os.str();
+        json[i] = js.str();
+    }
+    EXPECT_EQ(out[0], out[1]);
+    EXPECT_EQ(json[0], json[1]);
+    EXPECT_NE(out[0].find("sb"), std::string::npos);
+}
+
+TEST(LitmusRunner, FindLitmusFilesRejectsMissingPath)
+{
+    EXPECT_THROW(findLitmusFiles({"/nonexistent/path.litmus"}),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace litmus_dsl
+} // namespace wo

@@ -72,6 +72,49 @@ TEST(StatSet, DumpFiltersByPrefix)
     EXPECT_EQ(out.find("net.msgs"), std::string::npos);
 }
 
+TEST(StatSet, DumpJsonEmitsSortedWellFormedObject)
+{
+    StatSet s;
+    s.inc("net.msgs", 11);
+    s.inc("cache.hits", 7);
+    std::ostringstream oss;
+    s.dumpJson(oss);
+    EXPECT_EQ(oss.str(), "{\n  \"cache.hits\": 7,\n  \"net.msgs\": 11\n}");
+}
+
+TEST(StatSet, DumpJsonEmptyIsEmptyObject)
+{
+    StatSet s;
+    std::ostringstream oss;
+    s.dumpJson(oss);
+    EXPECT_EQ(oss.str(), "{}");
+
+    // A filter matching nothing also yields the empty object.
+    s.inc("a.b", 1);
+    std::ostringstream oss2;
+    s.dumpJson(oss2, "zzz.");
+    EXPECT_EQ(oss2.str(), "{}");
+}
+
+TEST(StatSet, DumpJsonFiltersByPrefixAndIndents)
+{
+    StatSet s;
+    s.inc("cache.hits", 7);
+    s.inc("net.msgs", 11);
+    std::ostringstream oss;
+    s.dumpJson(oss, "cache.", 2);
+    EXPECT_EQ(oss.str(), "{\n    \"cache.hits\": 7\n  }");
+}
+
+TEST(StatSet, DumpJsonEscapesNameMetacharacters)
+{
+    StatSet s;
+    s.inc("we\"ird\\name", 1);
+    std::ostringstream oss;
+    s.dumpJson(oss);
+    EXPECT_EQ(oss.str(), "{\n  \"we\\\"ird\\\\name\": 1\n}");
+}
+
 TEST(StatSet, ClearEmpties)
 {
     StatSet s;

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * wo-litmus: batch litmus-test runner over the text-format DSL.
+ *
+ *   $ wo-litmus [options] <file-or-dir>...
+ *
+ * Loads every .litmus file named (directories scanned for *.litmus),
+ * compiles them, fans runs across seeds x consistency policies x system
+ * variants on the parallel campaign engine, and prints a per-test
+ * outcome histogram plus a PASS/FAIL table. Output is byte-identical
+ * for any --threads value.
+ *
+ * Options:
+ *   --seeds=N        seeds per (policy, variant) cell        [20]
+ *   --threads=N      worker threads (or WO_THREADS)          [hardware]
+ *   --seed=S         base of the deterministic seed stream   [1]
+ *   --policies=a,b   subset of sc,def1,def2drf0,def2drf1,relaxed
+ *   --json[=FILE]    write a JSON report (to FILE, else stdout)
+ *   --no-verify      skip per-run SC verification
+ *   --no-histograms  omit outcome histograms from the text report
+ *   --list           parse + compile only; list tests and exit
+ *
+ * Exit status: 0 all tests pass, 1 failures, 2 bad usage or parse error.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "litmus/runner.hh"
+#include "workload/campaign.hh"
+
+namespace {
+
+using namespace wo;
+using namespace wo::litmus_dsl;
+
+int
+usage(std::ostream &os)
+{
+    os << "usage: wo-litmus [--seeds=N] [--threads=N] [--seed=S]\n"
+          "                 [--policies=sc,def1,def2drf0,def2drf1,"
+          "relaxed]\n"
+          "                 [--json[=FILE]] [--no-verify] "
+          "[--no-histograms] [--list]\n"
+          "                 <file-or-dir>...\n";
+    return 2;
+}
+
+bool
+parsePolicies(const std::string &list, std::vector<PolicyKind> &out)
+{
+    out.clear();
+    std::istringstream in(list);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (item == "sc")
+            out.push_back(PolicyKind::Sc);
+        else if (item == "def1")
+            out.push_back(PolicyKind::Def1);
+        else if (item == "def2drf0")
+            out.push_back(PolicyKind::Def2Drf0);
+        else if (item == "def2drf1")
+            out.push_back(PolicyKind::Def2Drf1);
+        else if (item == "relaxed")
+            out.push_back(PolicyKind::Relaxed);
+        else
+            return false;
+    }
+    return !out.empty();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunnerOptions options;
+    options.threads = consumeThreadsFlag(argc, argv);
+    options.baseSeed = consumeSeedFlag(argc, argv, 1);
+
+    bool json = false;
+    bool list_only = false;
+    bool histograms = true;
+    std::string json_file;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--seeds=", 0) == 0) {
+            options.seeds = std::atoi(arg.c_str() + 8);
+            if (options.seeds <= 0) {
+                std::cerr << "wo-litmus: bad --seeds value\n";
+                return 2;
+            }
+        } else if (arg.rfind("--policies=", 0) == 0) {
+            if (!parsePolicies(arg.substr(11), options.policies)) {
+                std::cerr << "wo-litmus: bad --policies list '"
+                          << arg.substr(11) << "'\n";
+                return 2;
+            }
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json = true;
+            json_file = arg.substr(7);
+        } else if (arg == "--no-verify") {
+            options.verify = false;
+        } else if (arg == "--no-histograms") {
+            histograms = false;
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "wo-litmus: unknown option '" << arg << "'\n";
+            return usage(std::cerr);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        return usage(std::cerr);
+
+    std::vector<CompiledLitmus> tests;
+    try {
+        for (const std::string &f : findLitmusFiles(paths))
+            tests.push_back(compileLitmusFile(f));
+    } catch (const LitmusError &e) {
+        std::cerr << "wo-litmus: " << e.what() << "\n";
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << "wo-litmus: " << e.what() << "\n";
+        return 2;
+    }
+    if (tests.empty()) {
+        std::cerr << "wo-litmus: no .litmus files found\n";
+        return 2;
+    }
+
+    if (list_only) {
+        for (const CompiledLitmus &t : tests) {
+            std::cout << t.name << "  (" << t.file << "): "
+                      << t.program.numProcs() << " procs, "
+                      << toString(t.clause) << "\n";
+        }
+        return 0;
+    }
+
+    CorpusReport report = runCorpus(tests, options);
+    printReport(std::cout, report, histograms);
+
+    if (json) {
+        if (json_file.empty()) {
+            writeJsonReport(std::cout, report);
+        } else {
+            std::ofstream out(json_file);
+            if (!out) {
+                std::cerr << "wo-litmus: cannot write " << json_file
+                          << "\n";
+                return 2;
+            }
+            writeJsonReport(out, report);
+            std::cout << "json report written to " << json_file << "\n";
+        }
+    }
+    return report.pass ? 0 : 1;
+}
