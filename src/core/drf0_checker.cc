@@ -1,6 +1,8 @@
 #include "core/drf0_checker.hh"
 
+#include <algorithm>
 #include <map>
+#include <queue>
 #include <sstream>
 
 #include "core/idealized.hh"
@@ -8,11 +10,127 @@
 
 namespace wo {
 
+namespace {
+
+/** Sort races the way the historical bitset checker enumerated them:
+ * addresses ascending, then pair ids ascending (both members of a pair
+ * share an address, so keying on the first suffices). */
+void
+normalizeRaces(const ExecutionTrace &trace, std::vector<Race> &races)
+{
+    std::sort(races.begin(), races.end(),
+              [&trace](const Race &a, const Race &b) {
+                  Addr aa = trace.at(a.first).addr;
+                  Addr ab = trace.at(b.first).addr;
+                  if (aa != ab)
+                      return aa < ab;
+                  return a < b;
+              });
+}
+
+/**
+ * True iff trace order already linearizes (po U so): every processor's
+ * accesses appear in program order and every sync location's operations
+ * in commit order. Holds for every idealized-machine trace (accesses are
+ * recorded at execution, atomically), letting checkTrace feed the
+ * detector with no sorting or graph work at all.
+ */
+bool
+traceOrderIsLinearExtension(const ExecutionTrace &trace)
+{
+    for (ProcId p = 0; p < trace.numProcs(); ++p) {
+        const std::vector<int> &ids = trace.accessesOf(p);
+        for (std::size_t k = 1; k < ids.size(); ++k) {
+            if (ids[k - 1] > ids[k])
+                return false;
+        }
+    }
+    for (Addr s : trace.syncAddrs()) {
+        const std::vector<int> &ids = trace.syncsAt(s);
+        for (std::size_t k = 1; k < ids.size(); ++k) {
+            if (ids[k - 1] > ids[k])
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Kahn topological sort of the direct (po U so) edges. Returns false
+ * (leaving @p order short) if the edge relation is cyclic. */
+bool
+topoOrder(const ExecutionTrace &trace, std::vector<int> &order)
+{
+    const int n = trace.size();
+    std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+    std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+    auto addEdge = [&](int u, int v) {
+        succ[static_cast<std::size_t>(u)].push_back(v);
+        ++indeg[static_cast<std::size_t>(v)];
+    };
+    for (ProcId p = 0; p < trace.numProcs(); ++p) {
+        const std::vector<int> &ids = trace.accessesOf(p);
+        for (std::size_t k = 1; k < ids.size(); ++k)
+            addEdge(ids[k - 1], ids[k]);
+    }
+    for (Addr s : trace.syncAddrs()) {
+        const std::vector<int> &ids = trace.syncsAt(s);
+        for (std::size_t k = 1; k < ids.size(); ++k)
+            addEdge(ids[k - 1], ids[k]);
+    }
+    order.clear();
+    order.reserve(static_cast<std::size_t>(n));
+    std::queue<int> ready;
+    for (int i = 0; i < n; ++i) {
+        if (indeg[static_cast<std::size_t>(i)] == 0)
+            ready.push(i);
+    }
+    while (!ready.empty()) {
+        int u = ready.front();
+        ready.pop();
+        order.push_back(u);
+        for (int v : succ[static_cast<std::size_t>(u)]) {
+            if (--indeg[static_cast<std::size_t>(v)] == 0)
+                ready.push(v);
+        }
+    }
+    return static_cast<int>(order.size()) == n;
+}
+
+} // namespace
+
 Drf0TraceReport
 checkTrace(const ExecutionTrace &trace)
 {
     Drf0TraceReport report;
+    if (trace.size() == 0)
+        return report;
+
+    RaceDetector det(trace.numProcs(), RaceDetectMode::AllRaces);
+    if (traceOrderIsLinearExtension(trace)) {
+        for (const Access &a : trace.accesses())
+            det.onAccess(a);
+    } else {
+        std::vector<int> order;
+        if (!topoOrder(trace, order)) {
+            // Cyclic (po U so): fall back to the closure, which leaves
+            // cycle members mutually unordered and flags the report.
+            return checkTraceBitset(trace);
+        }
+        for (int id : order)
+            det.onAccess(trace.at(id));
+    }
+    report.races = det.races();
+    report.raceFree = report.races.empty();
+    normalizeRaces(trace, report.races);
+    return report;
+}
+
+Drf0TraceReport
+checkTraceBitset(const ExecutionTrace &trace)
+{
+    Drf0TraceReport report;
     HappensBefore hb(trace);
+    report.hbCyclic = !hb.acyclic();
 
     // Group accesses by address; only same-address pairs can conflict.
     std::map<Addr, std::vector<int>> by_addr;
@@ -70,8 +188,15 @@ checkProgramSampled(const MultiProgram &program, int num_schedules,
     report.bounded = true;
     Rng rng(seed);
     int nprocs = program.numProcs();
+    RaceDetector det(nprocs, RaceDetectMode::FirstRace);
     for (int s = 0; s < num_schedules && report.obeysDrf0; ++s) {
+        // Snapshot the RNG so a racy schedule can be replayed in full
+        // for the witness (the stream itself is shared across schedules,
+        // exactly as the offline checker consumed it).
+        Rng sched_rng = rng;
         IdealizedMachine m(program);
+        det.reset(nprocs);
+        m.attachRaceDetector(&det);
         int steps = 0;
         while (!m.allHalted() && steps < max_steps_per_execution) {
             // Pick a random non-halted processor.
@@ -80,13 +205,26 @@ checkProgramSampled(const MultiProgram &program, int num_schedules,
                 p = (p + 1) % nprocs;
             m.step(p);
             ++steps;
+            if (det.hasRace())
+                break; // online early exit: first race decides
         }
         ++report.executions;
-        Drf0TraceReport tr = checkTrace(m.trace());
-        if (!tr.raceFree) {
+        if (det.hasRace()) {
             report.obeysDrf0 = false;
-            report.witness = m.trace();
-            report.witnessReport = tr;
+            // Rebuild the full-trace witness the offline checker would
+            // have reported: replay this schedule to completion.
+            IdealizedMachine w(program);
+            Rng replay = sched_rng;
+            int wsteps = 0;
+            while (!w.allHalted() && wsteps < max_steps_per_execution) {
+                ProcId p = static_cast<ProcId>(replay.below(nprocs));
+                while (w.halted(p))
+                    p = (p + 1) % nprocs;
+                w.step(p);
+                ++wsteps;
+            }
+            report.witness = w.trace();
+            report.witnessReport = checkTrace(report.witness);
         }
     }
     return report;
@@ -100,7 +238,8 @@ Drf0TraceReport::toString(const ExecutionTrace &trace) const
         oss << "race-free (DRF0)";
         return oss.str();
     }
-    oss << races.size() << " race(s):\n";
+    oss << races.size() << " race(s)" << (hbCyclic ? " [cyclic hb]" : "")
+        << ":\n";
     for (const auto &r : races) {
         oss << "  " << trace.at(r.first).toString() << "  ||  "
             << trace.at(r.second).toString() << '\n';

@@ -13,6 +13,13 @@
  *    example and counter-example, and for dynamic race reporting);
  *  - checkProgram(): exhaustively enumerate idealized executions of a
  *    program and classify each (the literal Definition 3 quantifier).
+ *
+ * Race detection runs on the streaming vector-clock engine
+ * (core/race_detector.hh): O(n * P) per trace instead of the
+ * O(n^2/64) dense happens-before closure, and — for the sampled program
+ * check — online, aborting an execution at its first race. The closure
+ * (core/happens_before.hh) survives as checkTraceBitset(), the
+ * differential oracle and the fallback for artificially cyclic traces.
  */
 
 #ifndef WO_CORE_DRF0_CHECKER_HH
@@ -23,27 +30,23 @@
 #include <vector>
 
 #include "core/happens_before.hh"
+#include "core/race_detector.hh"
 #include "core/trace.hh"
 #include "cpu/program.hh"
 
 namespace wo {
 
-/** One unordered conflicting pair found by the checker. */
-struct Race
-{
-    int first;  ///< trace id
-    int second; ///< trace id
-
-    bool operator==(const Race &o) const
-    {
-        return first == o.first && second == o.second;
-    }
-};
-
 /** Outcome of checking one execution trace. */
 struct Drf0TraceReport
 {
     bool raceFree = true;
+
+    /** True if (po U so) was cyclic — impossible for executions of the
+     * idealized or simulated machines, but constructible artificially.
+     * Accesses on a cycle are treated as unordered (so conflicting ones
+     * race), and this flag marks the verdict as degenerate. */
+    bool hbCyclic = false;
+
     std::vector<Race> races;
 
     /** Render races against @p trace for human consumption. */
@@ -82,8 +85,15 @@ struct Drf0CheckLimits
 };
 
 /** Classify one execution: find every conflicting pair not ordered by the
- * happens-before relation of the trace. */
+ * happens-before relation of the trace. Runs the vector-clock engine;
+ * falls back to the bitset closure for cyclic (po U so). */
 Drf0TraceReport checkTrace(const ExecutionTrace &trace);
+
+/** The pre-vector-clock implementation: dense bitset happens-before
+ * closure plus an all-pairs conflict scan. O(n^2/64) time and memory —
+ * kept as the differential oracle, for small-trace queries, and as the
+ * cyclic-trace fallback. Reports the same races as checkTrace(). */
+Drf0TraceReport checkTraceBitset(const ExecutionTrace &trace);
 
 /** Exhaustively check a program over idealized executions
  * (Definition 3). */
@@ -98,6 +108,11 @@ Drf0ProgramReport checkProgram(const MultiProgram &program,
  * interleavings and race-check each trace. A race found proves the
  * program violates DRF0; a clean run is evidence, not proof (the report
  * is always marked bounded).
+ *
+ * Races are detected online by a vector-clock detector attached to the
+ * interpreter, so a racy schedule is abandoned at its first race; the
+ * witness is then rebuilt by replaying that schedule to completion, which
+ * keeps the report identical to the offline full-trace check.
  */
 Drf0ProgramReport checkProgramSampled(const MultiProgram &program,
                                       int num_schedules,

@@ -15,15 +15,15 @@ HappensBefore::HappensBefore(const ExecutionTrace &trace)
     // transitive closure below recovers the full program order.
     int nprocs = trace.numProcs();
     for (ProcId p = 0; p < nprocs; ++p) {
-        std::vector<int> ids = trace.accessesOf(p);
+        const std::vector<int> &ids = trace.accessesOf(p);
         for (std::size_t k = 1; k < ids.size(); ++k)
             edges_.emplace_back(ids[k - 1], ids[k]);
     }
 
     // Direct so edges: consecutive synchronization operations per location
     // in commit order.
-    for (Addr a : trace.addrs()) {
-        std::vector<int> ids = trace.syncsAt(a);
+    for (Addr a : trace.syncAddrs()) {
+        const std::vector<int> &ids = trace.syncsAt(a);
         for (std::size_t k = 1; k < ids.size(); ++k)
             edges_.emplace_back(ids[k - 1], ids[k]);
     }

@@ -1,6 +1,9 @@
 #include "core/idealized.hh"
 
+#include <algorithm>
 #include <cassert>
+
+#include "core/race_detector.hh"
 
 namespace wo {
 
@@ -12,6 +15,13 @@ IdealizedMachine::IdealizedMachine(const MultiProgram &program)
     regs_.assign(n, std::vector<Word>(program.numRegisters(), 0));
     halted_.assign(n, false);
     poIndex_.assign(n, 0);
+    // Static instruction count is a sound lower bound on the dynamic
+    // access count; reserving it up front keeps straight-line recording
+    // free of reallocation (loops still grow geometrically).
+    int static_insns = 0;
+    for (ProcId p = 0; p < n; ++p)
+        static_insns += program.program(p).size();
+    trace_.reserve(std::min(static_insns, 4096));
     touched_ = program.touchedAddrs();
     for (Addr a : touched_) {
         Word init = program.initialValue(a);
@@ -151,6 +161,8 @@ IdealizedMachine::step(ProcId p)
     pcs_[p] = next_pc;
     undo_.push_back(u);
     ++steps_;
+    if (u.recordedAccess && detector_)
+        detector_->onAccess(trace_.accesses().back());
     return true;
 }
 
@@ -158,6 +170,9 @@ void
 IdealizedMachine::unstep()
 {
     assert(!undo_.empty());
+    // Online detection cannot rewind: backtracking enumeration must not
+    // attach a detector.
+    assert(detector_ == nullptr);
     UndoRecord u = undo_.back();
     undo_.pop_back();
     pcs_[u.proc] = u.oldPc;

@@ -28,6 +28,8 @@
 
 namespace wo {
 
+class RaceDetector;
+
 /**
  * Interpreter state for one idealized (atomic, in-program-order)
  * execution.
@@ -36,6 +38,16 @@ class IdealizedMachine
 {
   public:
     explicit IdealizedMachine(const MultiProgram &program);
+
+    /**
+     * Attach an online race detector: every memory access is streamed
+     * into it as it executes (trace order is a linear extension of the
+     * happens-before relation on this machine), so callers can poll
+     * RaceDetector::hasRace() after each step() and abandon the
+     * execution at its first race. Only accesses recorded after
+     * attachment are observed; incompatible with unstep().
+     */
+    void attachRaceDetector(RaceDetector *det) { detector_ = det; }
 
     /** True when processor @p p reached Halt. */
     bool halted(ProcId p) const { return halted_[p]; }
@@ -92,6 +104,7 @@ class IdealizedMachine
     };
 
     const MultiProgram &program_;
+    RaceDetector *detector_ = nullptr;
     std::vector<int> pcs_;
     std::vector<std::vector<Word>> regs_;
     std::vector<bool> halted_;

@@ -1,58 +1,109 @@
 #include "core/trace.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <set>
 #include <sstream>
 
 namespace wo {
 
+namespace {
+const std::vector<int> kNoIds;
+} // namespace
+
 int
 ExecutionTrace::add(Access a)
 {
     a.id = static_cast<int>(accesses_.size());
+    if (a.proc >= 0) {
+        if (static_cast<std::size_t>(a.proc) >= byProc_.size())
+            byProc_.resize(static_cast<std::size_t>(a.proc) + 1);
+        IndexList &pi = byProc_[static_cast<std::size_t>(a.proc)];
+        pi.ids.push_back(a.id);
+        pi.dirty = true;
+    }
+    if (a.sync()) {
+        IndexList &si = syncs_[a.addr];
+        si.ids.push_back(a.id);
+        si.dirty = true;
+    }
     accesses_.push_back(a);
     return a.id;
 }
 
-int
-ExecutionTrace::numProcs() const
+void
+ExecutionTrace::reserve(int n)
 {
-    int m = 0;
-    for (const auto &a : accesses_)
-        m = std::max(m, a.proc + 1);
-    return m;
+    accesses_.reserve(static_cast<std::size_t>(n));
 }
 
-std::vector<int>
+void
+ExecutionTrace::popLast()
+{
+    assert(!accesses_.empty());
+    const Access &a = accesses_.back();
+    if (a.proc >= 0) {
+        IndexList &pi = byProc_[static_cast<std::size_t>(a.proc)];
+        pi.ids.pop_back();
+        pi.dirty = true;
+    }
+    if (a.sync()) {
+        auto it = syncs_.find(a.addr);
+        it->second.ids.pop_back();
+        if (it->second.ids.empty())
+            syncs_.erase(it);
+        else
+            it->second.dirty = true;
+    }
+    accesses_.pop_back();
+    // Keep numProcs() == highest present processor + 1.
+    while (!byProc_.empty() && byProc_.back().ids.empty())
+        byProc_.pop_back();
+}
+
+const std::vector<int> &
 ExecutionTrace::accessesOf(ProcId proc) const
 {
-    std::vector<int> ids;
-    for (const auto &a : accesses_) {
-        if (a.proc == proc)
-            ids.push_back(a.id);
+    if (proc < 0 || static_cast<std::size_t>(proc) >= byProc_.size())
+        return kNoIds;
+    const IndexList &pi = byProc_[static_cast<std::size_t>(proc)];
+    if (pi.dirty) {
+        pi.sorted = pi.ids;
+        auto lt = [this](int x, int y) {
+            const Access &ax = accesses_[static_cast<std::size_t>(x)];
+            const Access &ay = accesses_[static_cast<std::size_t>(y)];
+            if (ax.poIndex != ay.poIndex)
+                return ax.poIndex < ay.poIndex;
+            return x < y;
+        };
+        if (!std::is_sorted(pi.sorted.begin(), pi.sorted.end(), lt))
+            std::sort(pi.sorted.begin(), pi.sorted.end(), lt);
+        pi.dirty = false;
     }
-    std::sort(ids.begin(), ids.end(), [this](int x, int y) {
-        return accesses_[x].poIndex < accesses_[y].poIndex;
-    });
-    return ids;
+    return pi.sorted;
 }
 
-std::vector<int>
+const std::vector<int> &
 ExecutionTrace::syncsAt(Addr addr) const
 {
-    std::vector<int> ids;
-    for (const auto &a : accesses_) {
-        if (a.sync() && a.addr == addr)
-            ids.push_back(a.id);
+    auto it = syncs_.find(addr);
+    if (it == syncs_.end())
+        return kNoIds;
+    const IndexList &si = it->second;
+    if (si.dirty) {
+        si.sorted = si.ids;
+        auto lt = [this](int x, int y) {
+            const Access &ax = accesses_[static_cast<std::size_t>(x)];
+            const Access &ay = accesses_[static_cast<std::size_t>(y)];
+            if (ax.commitTick != ay.commitTick)
+                return ax.commitTick < ay.commitTick;
+            return x < y;
+        };
+        if (!std::is_sorted(si.sorted.begin(), si.sorted.end(), lt))
+            std::sort(si.sorted.begin(), si.sorted.end(), lt);
+        si.dirty = false;
     }
-    std::sort(ids.begin(), ids.end(), [this](int x, int y) {
-        const Access &ax = accesses_[x];
-        const Access &ay = accesses_[y];
-        if (ax.commitTick != ay.commitTick)
-            return ax.commitTick < ay.commitTick;
-        return x < y;
-    });
-    return ids;
+    return si.sorted;
 }
 
 std::vector<Addr>
@@ -62,6 +113,16 @@ ExecutionTrace::addrs() const
     for (const auto &a : accesses_)
         s.insert(a.addr);
     return {s.begin(), s.end()};
+}
+
+std::vector<Addr>
+ExecutionTrace::syncAddrs() const
+{
+    std::vector<Addr> out;
+    out.reserve(syncs_.size());
+    for (const auto &[addr, ids] : syncs_)
+        out.push_back(addr);
+    return out;
 }
 
 void

@@ -24,6 +24,11 @@ namespace wo {
  * Initializing writes are modelled implicitly: every location starts at an
  * initial value, ordered before all program accesses — exactly the paper's
  * hypothetical initializing write + synchronization preamble.
+ *
+ * Per-processor and per-sync-location id indices are maintained
+ * incrementally by add()/popLast(), so the happens-before machinery's
+ * accessesOf()/syncsAt() queries return cached const references instead
+ * of scanning and copying the trace on every call.
  */
 class ExecutionTrace
 {
@@ -32,6 +37,9 @@ class ExecutionTrace
 
     /** Append an access; assigns and returns its trace id. */
     int add(Access a);
+
+    /** Pre-size storage for @p n accesses (hot recording loops). */
+    void reserve(int n);
 
     /** Number of accesses. */
     int size() const { return static_cast<int>(accesses_.size()); }
@@ -46,20 +54,26 @@ class ExecutionTrace
     const std::vector<Access> &accesses() const { return accesses_; }
 
     /** Remove the most recently added access (backtracking support). */
-    void popLast() { accesses_.pop_back(); }
+    void popLast();
 
     /** Number of processors appearing in the trace. */
-    int numProcs() const;
+    int numProcs() const { return static_cast<int>(byProc_.size()); }
 
-    /** Trace ids of @p proc's accesses, sorted by program order. */
-    std::vector<int> accessesOf(ProcId proc) const;
+    /** Trace ids of @p proc's accesses, sorted by program order. The
+     * reference is valid until the next add()/popLast(). */
+    const std::vector<int> &accessesOf(ProcId proc) const;
 
     /** Trace ids of synchronization accesses to @p addr, sorted by commit
-     * time (ties broken by trace order). */
-    std::vector<int> syncsAt(Addr addr) const;
+     * time (ties broken by trace order). The reference is valid until the
+     * next add()/popLast(). */
+    const std::vector<int> &syncsAt(Addr addr) const;
 
     /** Distinct addresses appearing in the trace. */
     std::vector<Addr> addrs() const;
+
+    /** Distinct addresses with at least one synchronization access,
+     * ascending. */
+    std::vector<Addr> syncAddrs() const;
 
     /** Set the initial value of a location. */
     void setInitial(Addr addr, Word value);
@@ -74,8 +88,18 @@ class ExecutionTrace
     std::string toString() const;
 
   private:
+    /** Incrementally maintained id list plus its lazily sorted view. */
+    struct IndexList
+    {
+        std::vector<int> ids; ///< append order
+        mutable std::vector<int> sorted;
+        mutable bool dirty = true;
+    };
+
     std::vector<Access> accesses_;
     std::map<Addr, Word> initials_;
+    std::vector<IndexList> byProc_;
+    std::map<Addr, IndexList> syncs_;
 };
 
 /**

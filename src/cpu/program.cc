@@ -75,6 +75,40 @@ MultiProgram::numRegisters() const
     return std::max(m, 1);
 }
 
+std::uint64_t
+MultiProgram::contentHash() const
+{
+    // splitmix64-mix every field; positions are implicit in the running
+    // state, so permuted programs hash differently.
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    auto mix = [&h](std::uint64_t v) {
+        h += v + 0x9e3779b97f4a7c15ull;
+        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+        h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+        h ^= h >> 31;
+    };
+    mix(static_cast<std::uint64_t>(programs_.size()));
+    for (const Program &p : programs_) {
+        mix(static_cast<std::uint64_t>(p.size()));
+        for (const Instruction &i : p.code()) {
+            mix(static_cast<std::uint64_t>(i.op));
+            mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(i.dst)));
+            mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(i.src)));
+            mix(i.imm);
+            mix(i.addr);
+            mix(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(i.target)));
+        }
+    }
+    std::vector<std::pair<Addr, Word>> inits = initials_;
+    std::sort(inits.begin(), inits.end());
+    for (const auto &[a, v] : inits) {
+        mix(a);
+        mix(v);
+    }
+    return h;
+}
+
 std::vector<Addr>
 MultiProgram::touchedAddrs() const
 {

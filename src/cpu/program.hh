@@ -6,6 +6,7 @@
 #ifndef WO_CPU_PROGRAM_HH
 #define WO_CPU_PROGRAM_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,15 @@ class MultiProgram
 
     /** Union of addresses touched by any processor. */
     std::vector<Addr> touchedAddrs() const;
+
+    /**
+     * 64-bit content hash over the instruction streams and initial
+     * memory values (the name is excluded — it cannot affect any
+     * execution). Equal program content hashes equally regardless of
+     * the order initials were declared in, so the hash can key verdict
+     * memos (e.g. the campaign engine's DRF0 memo).
+     */
+    std::uint64_t contentHash() const;
 
     /** Multi-line disassembly of the whole workload. */
     std::string toString() const;

@@ -132,6 +132,7 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
     report.baseSeed = options.baseSeed;
 
     Campaign campaign({options.threads, options.baseSeed});
+    Drf0Memo drf0_memo;
 
     for (const CompiledLitmus &test : tests) {
         TestReport tr;
@@ -141,8 +142,14 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
 
         // Sampled DRF0 verdict gates which policies promise SC results
         // for this program (spin loops rule out exhaustive enumeration).
-        Drf0ProgramReport drf0 = checkProgramSampled(
-            test.program, options.drf0Schedules, options.baseSeed);
+        // The memo dedupes identical program bodies across the corpus.
+        Drf0ProgramReport drf0 =
+            options.drf0Memo
+                ? drf0_memo.check(test.program, options.drf0Schedules,
+                                  options.baseSeed)
+                : checkProgramSampled(test.program,
+                                      options.drf0Schedules,
+                                      options.baseSeed);
         tr.drf0 = drf0.obeysDrf0;
         tr.drf0Bounded = drf0.bounded;
 

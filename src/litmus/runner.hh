@@ -80,6 +80,12 @@ struct RunnerOptions
     std::uint64_t maxVerifyStates = 1000000;
     int drf0Schedules = 200;     ///< sampled DRF0 check per test
 
+    /** Memoize sampled DRF0 verdicts by program content hash, so
+     * duplicate program bodies (and repeated corpus passes sharing a
+     * runner) are checked once. Verdicts are unchanged — the memo
+     * returns the identical report. */
+    bool drf0Memo = true;
+
     std::vector<PolicyKind> policies = {
         PolicyKind::Sc,
         PolicyKind::Def1,

@@ -59,6 +59,44 @@ consumeThreadsFlag(int &argc, char **argv)
     return threads > 0 ? threads : 0;
 }
 
+Drf0ProgramReport
+Drf0Memo::check(const MultiProgram &program, int numSchedules,
+                std::uint64_t seed, int maxStepsPerExecution)
+{
+    Key key{program.contentHash(), numSchedules, seed,
+            maxStepsPerExecution};
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = memo_.find(key);
+        if (it != memo_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Compute outside the lock; a concurrent duplicate of the same key
+    // computes the identical report, so first-insert-wins is harmless.
+    Drf0ProgramReport report = checkProgramSampled(
+        program, numSchedules, seed, maxStepsPerExecution);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    auto [it, inserted] = memo_.emplace(key, std::move(report));
+    return it->second;
+}
+
+std::uint64_t
+Drf0Memo::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+std::uint64_t
+Drf0Memo::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
 std::uint64_t
 consumeSeedFlag(int &argc, char **argv, std::uint64_t fallback)
 {

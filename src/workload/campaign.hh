@@ -17,8 +17,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
+#include <tuple>
 #include <vector>
 
+#include "core/drf0_checker.hh"
 #include "parallel/thread_pool.hh"
 
 namespace wo {
@@ -62,6 +66,44 @@ int consumeThreadsFlag(int &argc, char **argv);
  */
 std::uint64_t consumeSeedFlag(int &argc, char **argv,
                               std::uint64_t fallback = 1);
+
+/**
+ * Memoized sampled DRF0 verdicts, keyed by program content.
+ *
+ * Campaign-style workloads check the same compiled program repeatedly —
+ * across corpus passes, policy sweeps, and duplicate litmus bodies that
+ * differ only in name or clause. The verdict of checkProgramSampled()
+ * depends only on (program content, schedule count, seed, step cap), so
+ * one sampled check per distinct key suffices. Thread-safe; the sampled
+ * check itself runs outside the lock.
+ */
+class Drf0Memo
+{
+  public:
+    /**
+     * checkProgramSampled() with memoization: the first call for a key
+     * runs the sampled check, later calls return the stored report
+     * (byte-identical — same witness, same races).
+     */
+    Drf0ProgramReport check(const MultiProgram &program, int numSchedules,
+                            std::uint64_t seed,
+                            int maxStepsPerExecution = 10000);
+
+    /** Calls answered from the memo. */
+    std::uint64_t hits() const;
+
+    /** Calls that ran the sampled check. */
+    std::uint64_t misses() const;
+
+  private:
+    /** (contentHash, numSchedules, seed, maxSteps). */
+    using Key = std::tuple<std::uint64_t, int, std::uint64_t, int>;
+
+    mutable std::mutex mu_;
+    std::map<Key, Drf0ProgramReport> memo_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
 
 /** How a campaign runs. */
 struct CampaignConfig

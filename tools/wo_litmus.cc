@@ -17,6 +17,10 @@
  *   --policies=a,b   subset of sc,def1,def2drf0,def2drf1,relaxed
  *   --json[=FILE]    write a JSON report (to FILE, else stdout)
  *   --no-verify      skip per-run SC verification
+ *   --no-drf0-memo   re-run the sampled DRF0 check for every test
+ *                    instead of memoizing verdicts by program content
+ *                    (the memo never changes a verdict — this flag
+ *                    exists for timing comparisons and debugging)
  *   --no-histograms  omit outcome histograms from the text report
  *   --list           parse + compile only; list tests and exit
  *
@@ -44,7 +48,8 @@ usage(std::ostream &os)
           "                 [--policies=sc,def1,def2drf0,def2drf1,"
           "relaxed]\n"
           "                 [--json[=FILE]] [--no-verify] "
-          "[--no-histograms] [--list]\n"
+          "[--no-drf0-memo]\n"
+          "                 [--no-histograms] [--list]\n"
           "                 <file-or-dir>...\n";
     return 2;
 }
@@ -108,6 +113,8 @@ main(int argc, char **argv)
             json_file = arg.substr(7);
         } else if (arg == "--no-verify") {
             options.verify = false;
+        } else if (arg == "--no-drf0-memo") {
+            options.drf0Memo = false;
         } else if (arg == "--no-histograms") {
             histograms = false;
         } else if (arg == "--list") {
