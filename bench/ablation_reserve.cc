@@ -70,9 +70,8 @@ printDisciplineTable()
          {Row{"naive (clear at counter==0)", false, -1},
           Row{"naive + miss bound 0", false, 0},
           Row{"epoch (dynamic solution)", true, -1}}) {
-        SystemConfig cfg;
-        cfg.policy = PolicyKind::Def2Drf0;
-        cfg.warmCaches = true;
+        SystemConfig cfg =
+            machineOrThrow("net").config(PolicyKind::Def2Drf0);
         cfg.cache.invApplyDelay = 300;
         cfg.cache.epochReserveClearing = row.epoch;
         cfg.cache.maxMissesWhileReserved = row.bound;
@@ -109,12 +108,11 @@ printMissBoundTable()
             w.sectionsPerProc = 4;
             w.privateOpsBetween = 6;
             w.seed = s;
-            SystemConfig cfg;
-            cfg.policy = PolicyKind::Def2Drf0;
+            SystemConfig cfg =
+                machineOrThrow("net").config(PolicyKind::Def2Drf0,
+                                             s * 3 + 1);
             cfg.cache.maxMissesWhileReserved = bound;
             cfg.cache.invApplyDelay = 60; // keep reserves held a while
-            cfg.warmCaches = true;
-            cfg.net.seed = s * 3 + 1;
             System sys(randomDrf0Program(w), cfg);
             if (!sys.run())
                 continue;
@@ -134,9 +132,8 @@ void
 BM_CrossLockEpoch(benchmark::State &state)
 {
     for (auto _ : state) {
-        SystemConfig cfg;
-        cfg.policy = PolicyKind::Def2Drf0;
-        cfg.warmCaches = true;
+        SystemConfig cfg =
+            machineOrThrow("net").config(PolicyKind::Def2Drf0);
         cfg.cache.invApplyDelay = 300;
         System sys(crossLockProgram(), cfg);
         sys.run();

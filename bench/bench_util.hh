@@ -9,11 +9,13 @@
 #define WO_BENCH_BENCH_UTIL_HH
 
 #include <cstdint>
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "system/machine_spec.hh"
 #include "workload/campaign.hh"
 
 namespace wo::benchutil {
@@ -23,12 +25,17 @@ struct BenchOptions
 {
     int threads = 0;            ///< campaign workers; 0 = WO_THREADS/auto
     std::uint64_t baseSeed = 1; ///< campaign seed-stream base
+
+    /** Machines selected with --machines=<list>; empty = bench default. */
+    std::vector<const MachineSpec *> machines;
 };
 
 /**
  * Strip the flags every bench understands (--threads=N / --threads N,
- * honouring WO_THREADS, and --seed=S / --seed S) from argv before it is
- * handed to google-benchmark, which rejects flags it does not know.
+ * honouring WO_THREADS, --seed=S / --seed S, and --machines=LIST of
+ * machine-registry names) from argv before it is handed to
+ * google-benchmark, which rejects flags it does not know. Exits with
+ * status 2 on an unknown machine name.
  */
 inline BenchOptions
 consumeBenchFlags(int &argc, char **argv)
@@ -36,7 +43,36 @@ consumeBenchFlags(int &argc, char **argv)
     BenchOptions opts;
     opts.threads = consumeThreadsFlag(argc, argv);
     opts.baseSeed = consumeSeedFlag(argc, argv);
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--machines=", 0) == 0) {
+            try {
+                opts.machines = parseMachineList(arg.substr(11));
+            } catch (const std::exception &e) {
+                std::cerr << argv[0] << ": " << e.what() << "\n";
+                std::exit(2);
+            }
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
     return opts;
+}
+
+/**
+ * The machine list a bench sweeps over: the --machines selection, or
+ * the bench's default machine. Table banners should name the machine
+ * when the selection was explicit (opts.machines non-empty), so the
+ * default output stays byte-identical.
+ */
+inline std::vector<const MachineSpec *>
+machinesOr(const BenchOptions &opts, const std::string &default_name)
+{
+    if (!opts.machines.empty())
+        return opts.machines;
+    return {&machineOrThrow(default_name)};
 }
 
 /** Prints an aligned table: header row then data rows. */

@@ -33,7 +33,8 @@ struct CapPoint
 };
 
 CapPoint
-runPoint(int num_sets, int ways, PolicyKind pk, int runs)
+runPoint(const MachineSpec &m, int num_sets, int ways, PolicyKind pk,
+         int runs)
 {
     // One campaign job per seed; the order-stable reduce makes the
     // sums identical to the old serial loop at any thread count.
@@ -48,11 +49,9 @@ runPoint(int num_sets, int ways, PolicyKind pk, int runs)
         w.sectionsPerProc = 4;
         w.privateOpsBetween = 5;
         w.seed = s;
-        SystemConfig cfg;
-        cfg.policy = pk;
+        SystemConfig cfg = m.config(pk, s * 11 + 1);
         cfg.cache.numSets = num_sets;
         cfg.cache.ways = ways;
-        cfg.net.seed = s * 11 + 1;
         cfg.maxTicks = 50000000;
         System sys(randomDrf0Program(w), cfg);
         CapPoint one;
@@ -82,12 +81,13 @@ runPoint(int num_sets, int ways, PolicyKind pk, int runs)
 }
 
 void
-printCapacityTable()
+printCapacityTable(const MachineSpec &m, bool named)
 {
     const int runs = 10;
     benchutil::banner(
         "Capacity sweep: WO-Def2-DRF0 under eviction pressure (" +
-        std::to_string(runs) + " random DRF0 workloads/point)");
+        std::to_string(runs) + " random DRF0 workloads/point)" +
+        (named ? " [machine=" + m.name + "]" : ""));
     benchutil::Table t({"sets x ways", "completed", "appear SC",
                         "avg finish", "avg misses", "avg writebacks"});
     struct Geo
@@ -95,7 +95,8 @@ printCapacityTable()
         int sets, ways;
     };
     for (Geo g : {Geo{1, 2}, Geo{2, 2}, Geo{4, 2}, Geo{4, 4}, Geo{0, 0}}) {
-        CapPoint pt = runPoint(g.sets, g.ways, PolicyKind::Def2Drf0, runs);
+        CapPoint pt =
+            runPoint(m, g.sets, g.ways, PolicyKind::Def2Drf0, runs);
         std::string label = g.sets == 0
                                 ? "unbounded"
                                 : std::to_string(g.sets) + "x" +
@@ -130,11 +131,10 @@ BM_CapacityRun(benchmark::State &state)
         RandomWorkloadConfig w;
         w.numProcs = 4;
         w.seed = seed;
-        SystemConfig cfg;
-        cfg.policy = PolicyKind::Def2Drf0;
+        SystemConfig cfg = machineOrThrow("net-cold")
+                               .config(PolicyKind::Def2Drf0, seed++);
         cfg.cache.numSets = sets;
         cfg.cache.ways = 2;
-        cfg.net.seed = seed++;
         System sys(randomDrf0Program(w), cfg);
         sys.run();
         benchmark::DoNotOptimize(sys.finishTick());
@@ -150,7 +150,9 @@ int
 main(int argc, char **argv)
 {
     g_opts = wo::benchutil::consumeBenchFlags(argc, argv);
-    printCapacityTable();
+    for (const wo::MachineSpec *m :
+         wo::benchutil::machinesOr(g_opts, "net-cold"))
+        printCapacityTable(*m, !g_opts.machines.empty());
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

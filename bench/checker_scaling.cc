@@ -28,6 +28,9 @@ using namespace wo;
 
 wo::benchutil::BenchOptions g_opts; // resolved in main() from --threads/--seed
 
+/** Machine the traced executions run on (first --machines entry). */
+const MachineSpec *g_machine = nullptr;
+
 ExecutionTrace
 traceFor(int sections, std::uint64_t seed)
 {
@@ -39,9 +42,7 @@ traceFor(int sections, std::uint64_t seed)
     w.opsPerSection = 3;
     w.seed = seed;
     MultiProgram mp = randomDrf0Program(w);
-    SystemConfig cfg;
-    cfg.policy = PolicyKind::Def2Drf0;
-    cfg.net.seed = seed;
+    SystemConfig cfg = g_machine->config(PolicyKind::Def2Drf0, seed);
     System sys(mp, cfg);
     sys.run();
     return sys.trace();
@@ -250,9 +251,8 @@ BM_SimulatorThroughput(benchmark::State &state)
         w.sectionsPerProc = 6;
         w.seed = seed;
         MultiProgram mp = randomDrf0Program(w);
-        SystemConfig cfg;
-        cfg.policy = PolicyKind::Def2Drf1;
-        cfg.net.seed = seed++;
+        SystemConfig cfg =
+            machineOrThrow("net-cold").config(PolicyKind::Def2Drf1, seed++);
         System sys(mp, cfg);
         sys.run();
         total += sys.eventQueue().executed();
@@ -268,6 +268,7 @@ int
 main(int argc, char **argv)
 {
     g_opts = wo::benchutil::consumeBenchFlags(argc, argv);
+    g_machine = wo::benchutil::machinesOr(g_opts, "net-cold").front();
     printCampaignTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -39,12 +39,13 @@ workloadCfg(std::uint64_t seed)
 }
 
 void
-printContractTable()
+printContractTable(const MachineSpec &m, bool named)
 {
     const int runs = 40;
     benchutil::banner(
         "Definition 2 contract: random DRF0 workloads, " +
-        std::to_string(runs) + " seeds per policy");
+        std::to_string(runs) + " seeds per policy" +
+        (named ? " [machine=" + m.name + "]" : ""));
     benchutil::Table t(
         {"policy", "runs appearing SC", "avg finish ticks"});
     Campaign campaign({g_opts.threads, g_opts.baseSeed});
@@ -62,9 +63,7 @@ printContractTable()
             [&](const CampaignJob &jb) {
                 int s = jb.index + 1;
                 MultiProgram mp = randomDrf0Program(workloadCfg(s));
-                SystemConfig cfg;
-                cfg.policy = pk;
-                cfg.net.seed = s * 31 + 7;
+                SystemConfig cfg = m.config(pk, s * 31 + 7);
                 System sys(mp, cfg);
                 Run one;
                 if (!sys.run())
@@ -88,11 +87,9 @@ printContractTable()
     int violations = campaign.reduce<int, int>(
         neg_runs,
         [&](const CampaignJob &jb) {
-            SystemConfig cfg;
-            cfg.policy = PolicyKind::Relaxed;
-            cfg.cached = false;
-            cfg.numMemModules = 2;
-            cfg.net.seed = jb.index + 1;
+            SystemConfig cfg = machineOrThrow("net-u").config(
+                PolicyKind::Relaxed, jb.index + 1);
+            cfg.net.jitter = 8; // the control's historical jitter
             System sys(dekkerLitmus(), cfg);
             if (!sys.run())
                 return 0;
@@ -115,9 +112,8 @@ BM_RunPlusVerify(benchmark::State &state)
     std::uint64_t seed = 1;
     for (auto _ : state) {
         MultiProgram mp = randomDrf0Program(workloadCfg(seed));
-        SystemConfig cfg;
-        cfg.policy = pk;
-        cfg.net.seed = seed++;
+        SystemConfig cfg =
+            machineOrThrow("net-cold").config(pk, seed++);
         System sys(mp, cfg);
         sys.run();
         ScReport r = verifySc(sys.trace());
@@ -135,7 +131,9 @@ int
 main(int argc, char **argv)
 {
     g_opts = wo::benchutil::consumeBenchFlags(argc, argv);
-    printContractTable();
+    for (const wo::MachineSpec *m :
+         wo::benchutil::machinesOr(g_opts, "net-cold"))
+        printContractTable(*m, !g_opts.machines.empty());
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

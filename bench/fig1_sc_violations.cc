@@ -29,24 +29,19 @@ struct Fig1Config
 {
     std::string label;
     std::string mechanism;
-    InterconnectKind ic;
-    bool cached;
-    bool writeBuffer;
-    bool warm;
+    std::string machine; ///< machine-registry name
 };
 
 const std::vector<Fig1Config> &
 fig1Configs()
 {
     static const std::vector<Fig1Config> configs = {
-        {"bus / no cache", "reads pass writes in write buffer",
-         InterconnectKind::Bus, false, true, false},
+        {"bus / no cache", "reads pass writes in write buffer", "bus-u"},
         {"network / no cache", "in-order issue, modules reached out of order",
-         InterconnectKind::Network, false, false, false},
-        {"bus / cache", "reads pass writes in write buffer",
-         InterconnectKind::Bus, true, true, false},
+         "net-u"},
+        {"bus / cache", "reads pass writes in write buffer", "bus"},
         {"network / cache", "read before write propagates to other cache",
-         InterconnectKind::Network, true, false, true},
+         "net"},
     };
     return configs;
 }
@@ -54,14 +49,10 @@ fig1Configs()
 SystemConfig
 buildConfig(const Fig1Config &fc, PolicyKind pk, std::uint64_t seed)
 {
-    SystemConfig cfg;
-    cfg.policy = pk;
-    cfg.interconnect = fc.ic;
-    cfg.cached = fc.cached;
-    cfg.writeBuffer = pk == PolicyKind::Relaxed && fc.writeBuffer;
-    cfg.warmCaches = fc.warm;
-    cfg.numMemModules = 2;
-    cfg.net.seed = seed;
+    SystemConfig cfg = machineOrThrow(fc.machine).config(pk, seed);
+    // Figure 1 runs every machine at the default jitter, including the
+    // cache-less network machine (whose registry default is 30).
+    cfg.net.jitter = 8;
     return cfg;
 }
 

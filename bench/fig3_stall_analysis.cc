@@ -38,13 +38,10 @@ struct Fig3Point
 Fig3Point
 runFig3(PolicyKind pk, Tick write_gp_delay, std::uint64_t seed = 1)
 {
-    SystemConfig cfg;
-    cfg.policy = pk;
-    cfg.cached = true;
-    cfg.interconnect = InterconnectKind::Network;
-    cfg.warmCaches = true; // x shared in both caches: the write needs invals
+    // The warm "net" machine: x shared in both caches, so the write
+    // needs invalidations before it is globally performed.
+    SystemConfig cfg = machineOrThrow("net").config(pk, seed);
     cfg.cache.invApplyDelay = write_gp_delay;
-    cfg.net.seed = seed;
     System sys(figure3Scenario(/*work_nops=*/5), cfg);
     Fig3Point pt{};
     if (!sys.run()) {

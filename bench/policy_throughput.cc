@@ -42,7 +42,8 @@ workloadCfg(int sections, int ops, std::uint64_t seed)
 }
 
 std::uint64_t
-avgTicks(PolicyKind pk, int sections, int ops, Tick net_base, int runs)
+avgTicks(const MachineSpec &m, PolicyKind pk, int sections, int ops,
+         Tick net_base, int runs)
 {
     // Seed sweep as a campaign: one job per seed, merged in seed order
     // so the average is bit-identical to the old serial loop.
@@ -58,11 +59,9 @@ avgTicks(PolicyKind pk, int sections, int ops, Tick net_base, int runs)
             int s = jb.index + 1;
             MultiProgram mp =
                 randomDrf0Program(workloadCfg(sections, ops, s));
-            SystemConfig cfg;
-            cfg.policy = pk;
+            SystemConfig cfg = m.config(pk, s * 17 + 3);
             cfg.net.base = net_base;
             cfg.net.jitter = net_base;
-            cfg.net.seed = s * 17 + 3;
             cfg.maxTicks = 50000000;
             System sys(mp, cfg);
             Run one;
@@ -80,8 +79,9 @@ avgTicks(PolicyKind pk, int sections, int ops, Tick net_base, int runs)
 }
 
 void
-printThroughputTables()
+printThroughputTables(const MachineSpec &m, bool named)
 {
+    const std::string suffix = named ? " [machine=" + m.name + "]" : "";
     const int runs = 12;
     const std::vector<PolicyKind> policies = {
         PolicyKind::Sc, PolicyKind::Def1, PolicyKind::Def2Drf0,
@@ -89,15 +89,16 @@ printThroughputTables()
 
     benchutil::banner(
         "Execution time vs synchronization frequency (net latency 6, " +
-        std::to_string(runs) + " workloads/point, avg finish ticks)");
+        std::to_string(runs) + " workloads/point, avg finish ticks)" +
+        suffix);
     {
         benchutil::Table t({"critical sections/proc", "SC", "WO-Def1",
                             "WO-Def2-DRF0", "WO-Def2-DRF1"});
         for (int sections : {1, 2, 4, 8}) {
             std::vector<std::string> row = {std::to_string(sections)};
             for (PolicyKind pk : policies)
-                row.push_back(
-                    std::to_string(avgTicks(pk, sections, 3, 6, runs)));
+                row.push_back(std::to_string(
+                    avgTicks(m, pk, sections, 3, 6, runs)));
             t.addRow(row);
         }
         t.print();
@@ -105,7 +106,7 @@ printThroughputTables()
 
     benchutil::banner(
         "Execution time vs memory latency (4 sections/proc, avg finish "
-        "ticks)");
+        "ticks)" + suffix);
     {
         benchutil::Table t({"net base latency", "SC", "WO-Def1",
                             "WO-Def2-DRF0", "WO-Def2-DRF1"});
@@ -113,7 +114,7 @@ printThroughputTables()
             std::vector<std::string> row = {std::to_string(lat)};
             for (PolicyKind pk : policies)
                 row.push_back(std::to_string(
-                    avgTicks(pk, 4, 3, lat, runs)));
+                    avgTicks(m, pk, 4, 3, lat, runs)));
             t.addRow(row);
         }
         t.print();
@@ -134,9 +135,8 @@ BM_Workload(benchmark::State &state)
     std::uint64_t ticks = 0, n = 0;
     for (auto _ : state) {
         MultiProgram mp = randomDrf0Program(workloadCfg(4, 3, seed));
-        SystemConfig cfg;
-        cfg.policy = pk;
-        cfg.net.seed = seed++;
+        SystemConfig cfg =
+            machineOrThrow("net-cold").config(pk, seed++);
         System sys(mp, cfg);
         sys.run();
         ticks += sys.finishTick();
@@ -158,7 +158,9 @@ int
 main(int argc, char **argv)
 {
     g_opts = wo::benchutil::consumeBenchFlags(argc, argv);
-    printThroughputTables();
+    for (const wo::MachineSpec *m :
+         wo::benchutil::machinesOr(g_opts, "net-cold"))
+        printThroughputTables(*m, !g_opts.machines.empty());
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

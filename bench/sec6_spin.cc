@@ -23,6 +23,8 @@ namespace {
 
 using namespace wo;
 
+wo::benchutil::BenchOptions g_opts; // resolved in main() from flags
+
 struct SpinResult
 {
     Tick finish = 0;
@@ -32,11 +34,10 @@ struct SpinResult
 };
 
 SpinResult
-runSpin(const MultiProgram &mp, PolicyKind pk, std::uint64_t seed)
+runSpin(const MachineSpec &m, const MultiProgram &mp, PolicyKind pk,
+        std::uint64_t seed)
 {
-    SystemConfig cfg;
-    cfg.policy = pk;
-    cfg.net.seed = seed;
+    SystemConfig cfg = m.config(pk, seed);
     cfg.maxTicks = 20000000;
     System sys(mp, cfg);
     SpinResult r;
@@ -50,12 +51,13 @@ runSpin(const MultiProgram &mp, PolicyKind pk, std::uint64_t seed)
 }
 
 void
-printSec6Table()
+printSec6Table(const MachineSpec &m, bool named)
 {
     const int procs = 4, rounds = 4;
     benchutil::banner(
         "Section 6: spin-lock counter, " + std::to_string(procs) +
-        " processors x " + std::to_string(rounds) + " rounds");
+        " processors x " + std::to_string(rounds) + " rounds" +
+        (named ? " [machine=" + m.name + "]" : ""));
     benchutil::Table t({"workload", "policy", "finish ticks",
                         "final counter", "appears SC"});
     struct W
@@ -71,7 +73,7 @@ printSec6Table()
         for (PolicyKind pk :
              {PolicyKind::Sc, PolicyKind::Def1, PolicyKind::Def2Drf0,
               PolicyKind::Def2Drf1}) {
-            SpinResult r = runSpin(w.mp, pk, 1);
+            SpinResult r = runSpin(m, w.mp, pk, 1);
             if (!r.completed) {
                 t.addRow({w.label, toString(pk), "DID NOT FINISH", "-",
                           "-"});
@@ -102,7 +104,8 @@ BM_SpinCounter(benchmark::State &state)
     std::uint64_t seed = 1;
     std::uint64_t total_ticks = 0, runs = 0;
     for (auto _ : state) {
-        SpinResult r = runSpin(mp, pk, seed++);
+        SpinResult r =
+            runSpin(machineOrThrow("net-cold"), mp, pk, seed++);
         total_ticks += r.finish;
         ++runs;
         benchmark::DoNotOptimize(r.counter);
@@ -123,7 +126,10 @@ BENCHMARK(BM_SpinCounter)
 int
 main(int argc, char **argv)
 {
-    printSec6Table();
+    g_opts = wo::benchutil::consumeBenchFlags(argc, argv);
+    for (const wo::MachineSpec *m :
+         wo::benchutil::machinesOr(g_opts, "net-cold"))
+        printSec6Table(*m, !g_opts.machines.empty());
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -16,6 +16,7 @@
 
 #include "core/drf0_checker.hh"
 #include "core/sc_verifier.hh"
+#include "system/machine_spec.hh"
 #include "system/system.hh"
 #include "workload/asm.hh"
 
@@ -60,16 +61,14 @@ main(int argc, char **argv)
     try {
         MultiProgram mp = argc > 1 ? assembleFile(argv[1])
                                    : assemble(kDemo, "demo");
-        SystemConfig cfg;
-        cfg.policy =
-            argc > 2 ? parsePolicy(argv[2]) : PolicyKind::Def2Drf0;
-        cfg.interconnect = (argc > 3 && std::string(argv[3]) == "bus")
-                               ? InterconnectKind::Bus
-                               : InterconnectKind::Network;
-        if (argc > 4)
-            cfg.net.seed = std::strtoull(argv[4], nullptr, 10);
+        const MachineSpec &machine = machineOrThrow(
+            (argc > 3 && std::string(argv[3]) == "bus") ? "bus"
+                                                        : "net-cold");
+        SystemConfig cfg = machine.config(
+            argc > 2 ? parsePolicy(argv[2]) : PolicyKind::Def2Drf0,
+            argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1);
         if (cfg.policy == PolicyKind::Relaxed)
-            cfg.writeBuffer = true;
+            cfg.writeBuffer = true; // on either machine, as before
 
         std::cout << "workload:\n" << disassemble(mp) << "\n";
 

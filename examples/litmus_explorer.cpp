@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "core/sc_verifier.hh"
+#include "system/machine_spec.hh"
 #include "system/system.hh"
 #include "workload/campaign.hh"
 #include "workload/litmus.hh"
@@ -26,10 +27,8 @@ int g_threads = 0; // resolved in main() from --threads / WO_THREADS
 struct Config
 {
     std::string label;
-    InterconnectKind ic;
+    std::string machine; ///< machine-registry name
     bool cached;
-    bool wb;
-    bool warm;
 };
 
 int
@@ -42,14 +41,9 @@ violations(const MultiProgram &mp, const Config &c, PolicyKind pk,
     return campaign.reduce<int, int>(
         seeds,
         [&](const CampaignJob &jb) {
-            SystemConfig cfg;
-            cfg.policy = pk;
-            cfg.interconnect = c.ic;
-            cfg.cached = c.cached;
-            cfg.writeBuffer = pk == PolicyKind::Relaxed && c.wb;
-            cfg.warmCaches = c.warm;
-            cfg.numMemModules = 2;
-            cfg.net.seed = jb.index + 1;
+            SystemConfig cfg =
+                machineOrThrow(c.machine).config(pk, jb.index + 1);
+            cfg.net.jitter = 8; // every config at the default jitter
             System sys(mp, cfg);
             if (!sys.run())
                 return 0;
@@ -68,12 +62,10 @@ main(int argc, char **argv)
     int seeds = argc > 1 ? std::atoi(argv[1]) : 100;
 
     const Config configs[] = {
-        {"bus/no-cache  +WB", InterconnectKind::Bus, false, true, false},
-        {"net/no-cache     ", InterconnectKind::Network, false, false,
-         false},
-        {"bus/cache     +WB", InterconnectKind::Bus, true, true, false},
-        {"net/cache  (warm)", InterconnectKind::Network, true, false,
-         true},
+        {"bus/no-cache  +WB", "bus-u", false},
+        {"net/no-cache     ", "net-u", false},
+        {"bus/cache     +WB", "bus", true},
+        {"net/cache  (warm)", "net", true},
     };
 
     std::cout << "Dekker litmus (" << seeds

@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "core/sc_verifier.hh"
+#include "system/machine_spec.hh"
 #include "system/system.hh"
 #include "workload/litmus.hh"
 
@@ -38,8 +39,7 @@ main(int argc, char **argv)
         for (PolicyKind pk :
              {PolicyKind::Sc, PolicyKind::Def1, PolicyKind::Def2Drf0,
               PolicyKind::Def2Drf1}) {
-            SystemConfig cfg;
-            cfg.policy = pk;
+            SystemConfig cfg = machineOrThrow("net-cold").config(pk);
             cfg.maxTicks = 50000000;
             System sys(mp, cfg);
             if (!sys.run()) {

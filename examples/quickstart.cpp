@@ -12,6 +12,7 @@
 #include "core/contract.hh"
 #include "core/drf0_checker.hh"
 #include "cpu/program_builder.hh"
+#include "system/machine_spec.hh"
 #include "system/system.hh"
 
 int
@@ -48,10 +49,8 @@ main()
     // 2. Run it on weakly ordered hardware: a 2-processor cache-coherent
     //    system on a general interconnection network, using the paper's
     //    Section 5 implementation (counter + reserve bits).
-    SystemConfig cfg;
-    cfg.policy = PolicyKind::Def2Drf0;
-    cfg.interconnect = InterconnectKind::Network;
-    cfg.cached = true;
+    SystemConfig cfg =
+        machineOrThrow("net-cold").config(PolicyKind::Def2Drf0);
     System sys(program, cfg);
     if (!sys.run()) {
         std::cerr << "simulation did not complete\n";

@@ -13,6 +13,23 @@ Cache::Cache(EventQueue &eq, Interconnect &net, StatSet &stats, NodeId node,
     : eq_(eq), net_(net), stats_(stats), node_(node), dir_base_(dir_base),
       num_dirs_(num_dirs), cfg_(cfg), name_(std::move(name))
 {
+    stat_.hits = stats_.handle(name_ + ".hits");
+    stat_.misses = stats_.handle(name_ + ".misses");
+    stat_.writebacks = stats_.handle(name_ + ".writebacks");
+    stat_.silentDrops = stats_.handle(name_ + ".silent_drops");
+    stat_.reserves = stats_.handle(name_ + ".reserves");
+    stat_.stalledByReserveBound =
+        stats_.handle(name_ + ".stalled_by_reserve_bound");
+    stat_.stalledByEviction = stats_.handle(name_ + ".stalled_by_eviction");
+    stat_.counterMax =
+        stats_.handle(name_ + ".counter_max", StatSet::Kind::Max);
+    stat_.putacks = stats_.handle(name_ + ".putacks");
+    stat_.invalidations = stats_.handle(name_ + ".invalidations");
+    stat_.staleInvalidations =
+        stats_.handle(name_ + ".stale_invalidations");
+    stat_.recallNacks = stats_.handle(name_ + ".recall_nacks");
+    stat_.recallsQueued = stats_.handle(name_ + ".recalls_queued");
+    stat_.recallsServiced = stats_.handle(name_ + ".recalls_serviced");
     net_.attach(node_, [this](const Msg &m) { handle(m); });
 }
 
@@ -135,9 +152,9 @@ Cache::makeRoomFor(Addr addr)
     Line &v = lines_[victim];
     if (v.state == LineState::Exclusive) {
         sendToDir(MsgType::PutX, victim, v.data, false);
-        stats_.inc(name_ + ".writebacks");
+        stats_.inc(stat_.writebacks);
     } else {
-        stats_.inc(name_ + ".silent_drops");
+        stats_.inc(stat_.silentDrops);
     }
     lines_.erase(victim);
     ++inflight_fills_[set];
@@ -159,7 +176,7 @@ Cache::commitOnLine(const CacheOp &op, Line &line, bool gp_now, Tick delay)
         if (!line.reserved) {
             line.reserved = true;
             ++reserved_count_;
-            stats_.inc(name_ + ".reserves");
+            stats_.inc(stat_.reserves);
         }
         line.reservedUpTo = next_miss_seq_;
     }
@@ -192,7 +209,7 @@ Cache::access(const CacheOp &op)
     // bound; a write landing on a line that still awaits a write-ack for
     // an earlier write becomes globally performed with that ack.
     if (l && (!as_write || l->state == LineState::Exclusive)) {
-        stats_.inc(name_ + ".hits");
+        stats_.inc(stat_.hits);
         bool gp_now = as_write ? !l->pendingGp : true;
         commitOnLine(op, *l, gp_now, cfg_.hitLatency);
         return;
@@ -208,7 +225,7 @@ Cache::access(const CacheOp &op)
     if (cfg_.maxMissesWhileReserved >= 0 && anyReserved() &&
         misses_while_reserved_ >= cfg_.maxMissesWhileReserved) {
         stalled_ops_.push_back(op);
-        stats_.inc(name_ + ".stalled_by_reserve_bound");
+        stats_.inc(stat_.stalledByReserveBound);
         return;
     }
 
@@ -216,16 +233,16 @@ Cache::access(const CacheOp &op)
     if (!upgrade) {
         if (!makeRoomFor(op.addr)) {
             stalled_ops_.push_back(op);
-            stats_.inc(name_ + ".stalled_by_eviction");
+            stats_.inc(stat_.stalledByEviction);
             return;
         }
     }
 
     ++counter_;
-    stats_.maxOf(name_ + ".counter_max", static_cast<std::uint64_t>(counter_));
+    stats_.maxOf(stat_.counterMax, static_cast<std::uint64_t>(counter_));
     if (anyReserved())
         ++misses_while_reserved_;
-    stats_.inc(name_ + ".misses");
+    stats_.inc(stat_.misses);
 
     Mshr m;
     m.seq = next_miss_seq_++;
@@ -263,7 +280,7 @@ Cache::handle(const Msg &msg)
         handleWriteAck(msg);
         break;
       case MsgType::PutAck:
-        stats_.inc(name_ + ".putacks");
+        stats_.inc(stat_.putacks);
         break;
       default:
         assert(false && "unexpected message at cache");
@@ -354,9 +371,9 @@ Cache::handleInv(const Msg &msg)
                "invalidation must target a shared copy");
         assert(!l->reserved && "shared lines are never reserved");
         lines_.erase(msg.addr);
-        stats_.inc(name_ + ".invalidations");
+        stats_.inc(stat_.invalidations);
     } else {
-        stats_.inc(name_ + ".stale_invalidations");
+        stats_.inc(stat_.staleInvalidations);
     }
     Msg ack;
     ack.type = MsgType::InvAck;
@@ -385,14 +402,14 @@ Cache::handleRecall(const Msg &msg)
         nack.dst = msg.src;
         nack.addr = msg.addr;
         net_.send(nack);
-        stats_.inc(name_ + ".recall_nacks");
+        stats_.inc(stat_.recallNacks);
         return;
     }
     if (l->reserved) {
         // Condition 5: a synchronization (or any) request routed to a
         // reserved line is stalled until the counter reads zero.
         stalled_recalls_.push_back(msg);
-        stats_.inc(name_ + ".recalls_queued");
+        stats_.inc(stat_.recallsQueued);
         return;
     }
     serviceRecall(msg);
@@ -425,7 +442,7 @@ Cache::serviceRecall(const Msg &msg)
         lines_.erase(msg.addr);
         resp.type = MsgType::RecallInvData;
     }
-    stats_.inc(name_ + ".recalls_serviced");
+    stats_.inc(stat_.recallsServiced);
     net_.send(resp);
 }
 

@@ -202,6 +202,27 @@ class Cache : public MemPort
     std::string name_;
     CacheClient *client_ = nullptr;
 
+    /** Interned stat handles, resolved once at construction so the hot
+     * path bumps dense counters instead of hashing strings. */
+    struct StatHandles
+    {
+        StatHandle hits;
+        StatHandle misses;
+        StatHandle writebacks;
+        StatHandle silentDrops;
+        StatHandle reserves;
+        StatHandle stalledByReserveBound;
+        StatHandle stalledByEviction;
+        StatHandle counterMax;
+        StatHandle putacks;
+        StatHandle invalidations;
+        StatHandle staleInvalidations;
+        StatHandle recallNacks;
+        StatHandle recallsQueued;
+        StatHandle recallsServiced;
+    };
+    StatHandles stat_;
+
     std::map<Addr, Line> lines_;
     std::map<Addr, Mshr> mshrs_;
     std::map<int, int> inflight_fills_; ///< per-set fills in flight

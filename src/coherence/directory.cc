@@ -12,6 +12,12 @@ Directory::Directory(EventQueue &eq, Interconnect &net, StatSet &stats,
     : eq_(eq), net_(net), stats_(stats), node_(node), cfg_(cfg),
       name_(std::move(name))
 {
+    stat_.requests = stats_.handle(name_ + ".requests");
+    stat_.queued = stats_.handle(name_ + ".queued");
+    stat_.recallNacks = stats_.handle(name_ + ".recall_nacks");
+    stat_.writebacks = stats_.handle(name_ + ".writebacks");
+    stat_.invalidations = stats_.handle(name_ + ".invalidations");
+    stat_.recalls = stats_.handle(name_ + ".recalls");
     net_.attach(node_, [this](const Msg &m) { handle(m); });
 }
 
@@ -116,10 +122,10 @@ Directory::process(const Msg &msg)
       case MsgType::GetS:
       case MsgType::GetX:
       case MsgType::Upgrade:
-        stats_.inc(name_ + ".requests");
+        stats_.inc(stat_.requests);
         if (line.busy) {
             line.waiting.push_back(msg);
-            stats_.inc(name_ + ".queued");
+            stats_.inc(stat_.queued);
         } else {
             startRequest(line, msg);
         }
@@ -152,7 +158,7 @@ Directory::process(const Msg &msg)
         // may already be pending — necessarily to a different owner.
         assert(!(line.waitingRecall && line.owner == msg.src) &&
                "recall nack from the owner we are waiting on");
-        stats_.inc(name_ + ".recall_nacks");
+        stats_.inc(stat_.recallNacks);
         break;
 
       case MsgType::PutX:
@@ -170,7 +176,7 @@ Directory::process(const Msg &msg)
             line.owner = -1;
             line.mem = msg.value;
             sendTo(msg.src, MsgType::PutAck, msg.addr);
-            stats_.inc(name_ + ".writebacks");
+            stats_.inc(stat_.writebacks);
         }
         break;
 
@@ -207,7 +213,7 @@ Directory::startRequest(Line &line, const Msg &msg)
                       static_cast<int>(others.size()));
                 for (NodeId n : others)
                     sendTo(n, MsgType::Inv, msg.addr);
-                stats_.inc(name_ + ".invalidations", others.size());
+                stats_.inc(stat_.invalidations, others.size());
             }
         } else {
             startGetX(line, msg);
@@ -231,7 +237,7 @@ Directory::startGetS(Line &line, const Msg &msg)
         line.cur = msg;
         line.waitingRecall = true;
         sendTo(line.owner, MsgType::Recall, msg.addr, 0, msg.forSync);
-        stats_.inc(name_ + ".recalls");
+        stats_.inc(stat_.recalls);
         break;
     }
 }
@@ -261,7 +267,7 @@ Directory::startGetX(Line &line, const Msg &msg)
         reply(msg, MsgType::Data, line.mem);
         for (NodeId n : line.sharers)
             sendTo(n, MsgType::Inv, msg.addr);
-        stats_.inc(name_ + ".invalidations", line.sharers.size());
+        stats_.inc(stat_.invalidations, line.sharers.size());
         break;
       }
       case St::Exclusive:
@@ -270,7 +276,7 @@ Directory::startGetX(Line &line, const Msg &msg)
         line.cur = msg;
         line.waitingRecall = true;
         sendTo(line.owner, MsgType::RecallInv, msg.addr, 0, msg.forSync);
-        stats_.inc(name_ + ".recalls");
+        stats_.inc(stat_.recalls);
         break;
     }
 }

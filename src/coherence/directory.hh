@@ -116,6 +116,19 @@ class Directory
     NodeId node_;
     DirectoryConfig cfg_;
     std::string name_;
+
+    /** Interned stat handles, resolved once at construction. */
+    struct StatHandles
+    {
+        StatHandle requests;
+        StatHandle queued;
+        StatHandle recallNacks;
+        StatHandle writebacks;
+        StatHandle invalidations;
+        StatHandle recalls;
+    };
+    StatHandles stat_;
+
     std::map<Addr, Line> lines_;
 };
 

@@ -14,6 +14,11 @@ Processor::Processor(EventQueue &eq, StatSet &stats, ProcId id,
       policy_(policy), trace_(trace), cfg_(cfg),
       name_("proc" + std::to_string(id))
 {
+    stat_.instructions = stats_.handle(name_ + ".instructions");
+    stat_.wbInserts = stats_.handle(name_ + ".wb_inserts");
+    stat_.wbForwards = stats_.handle(name_ + ".wb_forwards");
+    stat_.policyStalls = stats_.handle(name_ + ".policy_stalls");
+    stat_.memOps = stats_.handle(name_ + ".mem_ops");
     int nregs = std::max(program.maxRegister() + 1, 1);
     regs_.assign(nregs, 0);
     reg_busy_.assign(nregs, false);
@@ -152,7 +157,7 @@ Processor::tryAdvance()
     }
     noteProgress();
     ++instructions_;
-    stats_.inc(name_ + ".instructions");
+    stats_.inc(stat_.instructions);
 
     // Advance the pc.
     if (insn.op == Opcode::Beq && regs_[insn.src] == insn.imm) {
@@ -202,7 +207,7 @@ Processor::issueMemOp(const Instruction &insn)
             ++not_gp_;
             write_buffer_.push_back({id, insn.addr, write_value,
                                      eq_.now()});
-            stats_.inc(name_ + ".wb_inserts");
+            stats_.inc(stat_.wbInserts);
             drainWriteBuffer();
             return true;
         }
@@ -219,7 +224,7 @@ Processor::issueMemOp(const Instruction &insn)
                         a.commitTick = eq_.now();
                         a.gpTick = eq_.now();
                     }
-                    stats_.inc(name_ + ".wb_forwards");
+                    stats_.inc(stat_.wbForwards);
                     return true;
                 }
             }
@@ -237,7 +242,7 @@ Processor::issueMemOp(const Instruction &insn)
     if (outstanding_ >= cfg_.maxOutstanding)
         return false;
     if (!policy_.mayIssue(kind, snapshot())) {
-        stats_.inc(name_ + ".policy_stalls");
+        stats_.inc(stat_.policyStalls);
         return false;
     }
 
@@ -259,7 +264,7 @@ Processor::issueMemOp(const Instruction &insn)
     if (rec.destReg >= 0)
         reg_busy_[rec.destReg] = true;
 
-    stats_.inc(name_ + ".mem_ops");
+    stats_.inc(stat_.memOps);
     CacheOp op;
     op.id = id;
     op.kind = kind;

@@ -126,6 +126,17 @@ class Processor : public CacheClient
     ProcessorConfig cfg_;
     std::string name_;
 
+    /** Interned stat handles, resolved once at construction. */
+    struct StatHandles
+    {
+        StatHandle instructions;
+        StatHandle wbInserts;
+        StatHandle wbForwards;
+        StatHandle policyStalls;
+        StatHandle memOps;
+    };
+    StatHandles stat_;
+
     int pc_ = 0;
     std::vector<Word> regs_;
     std::vector<bool> reg_busy_;

@@ -31,7 +31,7 @@ struct JobOut
 struct CellPlan
 {
     PolicyKind policy;
-    const SystemVariant *variant;
+    const MachineSpec *machine;
 };
 
 bool
@@ -81,18 +81,11 @@ jsonEscape(const std::string &s)
 
 } // namespace
 
-std::vector<SystemVariant>
-defaultVariants()
+std::vector<const MachineSpec *>
+defaultMachines()
 {
-    return {
-        {"bus", InterconnectKind::Bus, /*cached=*/true,
-         /*writeBufferOnRelaxed=*/true, /*warmCaches=*/false},
-        {"net", InterconnectKind::Network, /*cached=*/true,
-         /*writeBufferOnRelaxed=*/false, /*warmCaches=*/true},
-        {"net-u", InterconnectKind::Network, /*cached=*/false,
-         /*writeBufferOnRelaxed=*/false, /*warmCaches=*/false,
-         /*netJitter=*/30},
-    };
+    return {&machineOrThrow("bus"), &machineOrThrow("net"),
+            &machineOrThrow("net-u")};
 }
 
 std::vector<std::string>
@@ -125,7 +118,7 @@ findLitmusFiles(const std::vector<std::string> &paths)
 CorpusReport
 runCorpus(const std::vector<CompiledLitmus> &tests,
           const RunnerOptions &options,
-          const std::vector<SystemVariant> &variants)
+          const std::vector<const MachineSpec *> &machines)
 {
     CorpusReport report;
     report.seeds = options.seeds;
@@ -155,11 +148,11 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
 
         std::vector<ObservedVar> vars = observedVars(test.clause.cond);
 
-        // Flatten policy x variant x seed into one deterministic fan.
+        // Flatten policy x machine x seed into one deterministic fan.
         std::vector<CellPlan> cells;
         for (PolicyKind pk : options.policies) {
-            for (const SystemVariant &v : variants)
-                cells.push_back({pk, &v});
+            for (const MachineSpec *m : machines)
+                cells.push_back({pk, m});
         }
         int per_cell = options.seeds;
         int num_jobs = static_cast<int>(cells.size()) * per_cell;
@@ -170,16 +163,8 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
                     cells[static_cast<std::size_t>(job.index) /
                           static_cast<std::size_t>(per_cell)];
                 JobOut out;
-                SystemConfig cfg;
-                cfg.policy = plan.policy;
-                cfg.cached = plan.variant->cached;
-                cfg.interconnect = plan.variant->interconnect;
-                cfg.writeBuffer = plan.policy == PolicyKind::Relaxed &&
-                                  plan.variant->writeBufferOnRelaxed;
-                cfg.warmCaches = plan.variant->warmCaches;
-                cfg.numMemModules = 2;
-                cfg.net.seed = job.seed;
-                cfg.net.jitter = plan.variant->netJitter;
+                SystemConfig cfg =
+                    plan.machine->config(plan.policy, job.seed);
                 try {
                     System sys(test.program, cfg);
                     out.ran = true;
@@ -218,7 +203,7 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
         for (std::size_t ci = 0; ci < cells.size(); ++ci) {
             CellReport cell;
             cell.policy = cells[ci].policy;
-            cell.variant = cells[ci].variant->label;
+            cell.variant = cells[ci].machine->name;
             for (int s = 0; s < per_cell; ++s) {
                 const JobOut &o =
                     outs[ci * static_cast<std::size_t>(per_cell) +

@@ -36,39 +36,23 @@
 #include "consistency/policy.hh"
 #include "litmus/compiler.hh"
 #include "sim/stats.hh"
+#include "system/machine_spec.hh"
 #include "system/system.hh"
 
 namespace wo {
 namespace litmus_dsl {
 
-/** One hardware flavour every test runs on. */
-struct SystemVariant
-{
-    std::string label;
-    InterconnectKind interconnect = InterconnectKind::Network;
-
-    /** Cache-coherent system. Policies whose mechanisms need a cache
-     * (the Definition 2 implementations keep reserve bits there) are
-     * skipped on uncached variants — their cells report runs = 0. */
-    bool cached = true;
-
-    /** Enable write buffers when the policy is Relaxed (the classic
-     * Figure 1 reordering source on the bus). */
-    bool writeBufferOnRelaxed = false;
-
-    /** Start with warm caches (steady-state sharing). */
-    bool warmCaches = false;
-
-    /** Network latency jitter (ignored on the bus). Large values let
-     * same-processor stores to different memory modules reorder. */
-    Tick netJitter = 8;
-};
-
-/** The default three-variant set: "bus" (cached, +WB under Relaxed),
- * "net" (cached, warm, jittered network), and "net-u" (uncached
- * network, whose banked memory reorders same-processor writes — the
- * Figure 1 case-2 configuration). */
-std::vector<SystemVariant> defaultVariants();
+/**
+ * The default three-machine set from the machine registry: "bus"
+ * (cached, +WB under Relaxed), "net" (cached, warm, jittered network),
+ * and "net-u" (uncached network, whose banked memory reorders
+ * same-processor writes — the Figure 1 case-2 configuration).
+ *
+ * Policies whose mechanisms need a cache (the Definition 2
+ * implementations keep reserve bits there) are skipped on uncached
+ * machines — their cells report runs = 0.
+ */
+std::vector<const MachineSpec *> defaultMachines();
 
 /** Runner knobs. */
 struct RunnerOptions
@@ -151,11 +135,11 @@ struct CorpusReport
 std::vector<std::string>
 findLitmusFiles(const std::vector<std::string> &paths);
 
-/** Run the corpus; deterministic for fixed (options, variants). */
+/** Run the corpus; deterministic for fixed (options, machines). */
 CorpusReport runCorpus(const std::vector<CompiledLitmus> &tests,
                        const RunnerOptions &options,
-                       const std::vector<SystemVariant> &variants =
-                           defaultVariants());
+                       const std::vector<const MachineSpec *> &machines =
+                           defaultMachines());
 
 /** Human-readable report: per-test tables, histograms, final summary. */
 void printReport(std::ostream &os, const CorpusReport &report,

@@ -65,8 +65,8 @@ void
 Interconnect::deliverAt(Tick when, Msg msg)
 {
     ++sent_;
-    stats_.inc(name_ + ".msgs");
-    stats_.inc(name_ + ".latency_total", when - eq_.now());
+    stats_.inc(stat_msgs_);
+    stats_.inc(stat_latency_total_, when - eq_.now());
     eq_.scheduleAt(when, [this, msg = std::move(msg)] {
         auto it = handlers_.find(msg.dst);
         assert(it != handlers_.end() && "message to unattached node");

@@ -38,7 +38,10 @@ class Interconnect
 
     Interconnect(EventQueue &eq, StatSet &stats, std::string name)
         : eq_(eq), stats_(stats), name_(std::move(name))
-    {}
+    {
+        stat_msgs_ = stats_.handle(name_ + ".msgs");
+        stat_latency_total_ = stats_.handle(name_ + ".latency_total");
+    }
 
     virtual ~Interconnect() = default;
 
@@ -58,6 +61,9 @@ class Interconnect
     EventQueue &eq_;
     StatSet &stats_;
     std::string name_;
+    /** Interned handles for the per-message hot path. */
+    StatHandle stat_msgs_;
+    StatHandle stat_latency_total_;
     std::map<NodeId, Handler> handlers_;
     std::uint64_t sent_ = 0;
 };

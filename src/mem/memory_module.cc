@@ -8,6 +8,7 @@ MemoryModule::MemoryModule(EventQueue &eq, Interconnect &net, StatSet &stats,
                            NodeId node, const Config &cfg)
     : eq_(eq), net_(net), stats_(stats), node_(node), cfg_(cfg)
 {
+    stat_requests_ = stats_.handle("mem.requests");
     net_.attach(node, [this](const Msg &m) { handle(m); });
 }
 
@@ -25,7 +26,7 @@ MemoryModule::handle(const Msg &msg)
     Tick start = std::max(eq_.now(), free_at_);
     Tick done = start + cfg_.serviceLatency;
     free_at_ = done;
-    stats_.inc("mem.requests");
+    stats_.inc(stat_requests_);
 
     Msg req = msg;
     eq_.scheduleAt(done, [this, req] {

@@ -46,6 +46,7 @@ class MemoryModule
     StatSet &stats_;
     NodeId node_;
     Config cfg_;
+    StatHandle stat_requests_; ///< interned "mem.requests"
     std::map<Addr, Word> store_;
     Tick free_at_ = 0;
 };

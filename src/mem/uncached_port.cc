@@ -9,6 +9,7 @@ UncachedPort::UncachedPort(Interconnect &net, StatSet &stats, NodeId node,
     : net_(net), stats_(stats), node_(node), mem_base_(mem_base),
       num_mods_(num_mods), name_(std::move(name))
 {
+    stat_requests_ = stats_.handle(name_ + ".requests");
     net_.attach(node_, [this](const Msg &m) { handle(m); });
 }
 
@@ -37,7 +38,7 @@ UncachedPort::request(const CacheOp &op)
         break;
     }
     pending_[op.id] = Pending{op};
-    stats_.inc(name_ + ".requests");
+    stats_.inc(stat_requests_);
     net_.send(m);
 }
 

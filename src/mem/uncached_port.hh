@@ -50,6 +50,7 @@ class UncachedPort : public MemPort
     NodeId mem_base_;
     int num_mods_;
     std::string name_;
+    StatHandle stat_requests_; ///< interned name_ + ".requests"
     CacheClient *client_ = nullptr;
     std::map<std::uint64_t, Pending> pending_;
 };

@@ -1,38 +1,110 @@
 #include "sim/event_queue.hh"
 
 #include <cassert>
-#include <utility>
 
 namespace wo {
 
-void
-EventQueue::scheduleAt(Tick when, Callback fn)
+EventQueue::~EventQueue()
 {
-    assert(when >= now_ && "cannot schedule an event in the past");
-    events_.push(Entry{when, next_seq_++, std::move(fn)});
+    destroyPending();
+}
+
+EventQueue::Event *
+EventQueue::allocate()
+{
+    if (!free_list_) {
+        slabs_.push_back(std::make_unique<Event[]>(kSlabEvents));
+        Event *chunk = slabs_.back().get();
+        // Chain the fresh chunk in address order (order is irrelevant
+        // for determinism — firing order comes from (when, seq) alone).
+        for (std::size_t i = 0; i < kSlabEvents - 1; ++i)
+            chunk[i].next_free = &chunk[i + 1];
+        chunk[kSlabEvents - 1].next_free = nullptr;
+        free_list_ = chunk;
+    }
+    Event *ev = free_list_;
+    free_list_ = ev->next_free;
+    ev->next_free = nullptr;
+    return ev;
+}
+
+void
+EventQueue::release(Event *ev)
+{
+    ev->invoke = nullptr;
+    ev->destroy = nullptr;
+    ev->next_free = free_list_;
+    free_list_ = ev;
+}
+
+void
+EventQueue::destroyPending()
+{
+    for (HeapEntry &e : heap_) {
+        e.ev->destroy(*e.ev);
+        release(e.ev);
+    }
+    heap_.clear();
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!firesBefore(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t left = 2 * i + 1;
+        if (left >= n)
+            break;
+        std::size_t best = left;
+        std::size_t right = left + 1;
+        if (right < n && firesBefore(heap_[right], heap_[left]))
+            best = right;
+        if (!firesBefore(heap_[best], heap_[i]))
+            break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
 }
 
 bool
 EventQueue::step()
 {
-    if (events_.empty())
+    if (heap_.empty())
         return false;
-    // priority_queue::top() returns a const ref; the callback must be moved
-    // out before pop, so copy the entry (cheap: one std::function).
-    Entry e = events_.top();
-    events_.pop();
-    assert(e.when >= now_);
-    now_ = e.when;
+    HeapEntry top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    assert(top.when >= now_);
+    now_ = top.when;
     ++executed_;
-    e.fn();
+    // Fire in place: the record is stable while its callback schedules
+    // further events (slab storage never relocates), and is recycled
+    // only after the callback returns.
+    top.ev->invoke(*top.ev);
+    top.ev->destroy(*top.ev);
+    release(top.ev);
     return true;
 }
 
 bool
 EventQueue::run(Tick max_ticks)
 {
-    while (!events_.empty()) {
-        if (events_.top().when > max_ticks)
+    while (!heap_.empty()) {
+        if (heap_.front().when > max_ticks)
             return false;
         step();
     }
@@ -42,8 +114,7 @@ EventQueue::run(Tick max_ticks)
 void
 EventQueue::reset()
 {
-    while (!events_.empty())
-        events_.pop();
+    destroyPending();
     now_ = 0;
     next_seq_ = 0;
     executed_ = 0;

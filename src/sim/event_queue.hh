@@ -6,6 +6,16 @@
  * interconnects, processors) schedules callbacks on one EventQueue. Events
  * scheduled for the same tick fire in the order they were scheduled, which
  * makes whole-system runs bit-for-bit reproducible for a given seed.
+ *
+ * Event records are pooled: callbacks are constructed into fixed-size
+ * slab-allocated records (small-buffer storage for the callable, heap
+ * fallback only for oversized captures) and recycled through a free list,
+ * so the steady-state schedule/fire path performs no per-event
+ * allocation. The pending set is a binary heap of (tick, seq, record*)
+ * triples; ordering is identical to the historical
+ * std::priority_queue<std::function> kernel (see
+ * sim/legacy_event_queue.hh, kept as the differential oracle), so runs
+ * are bit-for-bit identical to it.
  */
 
 #ifndef WO_SIM_EVENT_QUEUE_HH
@@ -14,7 +24,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -33,6 +47,7 @@ class EventQueue
     using Callback = std::function<void()>;
 
     EventQueue() = default;
+    ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -43,21 +58,38 @@ class EventQueue
     /**
      * Schedule @p fn to run at absolute time @p when.
      *
-     * Scheduling in the past is a caller bug and asserts.
+     * Scheduling in the past is a caller bug: throws std::logic_error
+     * (in every build type — a silently late event would desynchronize
+     * the simulation irrecoverably).
      */
-    void scheduleAt(Tick when, Callback fn);
+    template <typename F>
+    void
+    scheduleAt(Tick when, F &&fn)
+    {
+        if (when < now_)
+            throw std::logic_error(
+                "EventQueue::scheduleAt: event scheduled in the past "
+                "(when=" + std::to_string(when) +
+                ", now=" + std::to_string(now_) + ")");
+        Event *ev = allocate();
+        bindCallback(*ev, std::forward<F>(fn));
+        heap_.push_back(HeapEntry{when, next_seq_++, ev});
+        siftUp(heap_.size() - 1);
+    }
 
     /** Schedule @p fn to run @p delay ticks from now. */
-    void scheduleAfter(Tick delay, Callback fn)
+    template <typename F>
+    void
+    scheduleAfter(Tick delay, F &&fn)
     {
-        scheduleAt(now_ + delay, std::move(fn));
+        scheduleAt(now_ + delay, std::forward<F>(fn));
     }
 
     /** True when no events remain. */
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return heap_.empty(); }
 
     /** Number of events still pending. */
-    std::size_t pending() const { return events_.size(); }
+    std::size_t pending() const { return heap_.size(); }
 
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
@@ -76,29 +108,87 @@ class EventQueue
      */
     bool run(Tick max_ticks = kNoTick);
 
-    /** Reset time to zero and drop all pending events. */
+    /** Reset time to zero and drop all pending events (the event pool is
+     * retained for reuse). */
     void reset();
 
   private:
-    struct Entry
+    /** Bytes of in-record callable storage. Sized to hold the kernel's
+     * common customers — a captured [this] plus a Msg by value — without
+     * spilling; larger callables fall back to one heap allocation. */
+    static constexpr std::size_t kInlineCallbackBytes = 72;
+
+    /** Events allocated per slab chunk. */
+    static constexpr std::size_t kSlabEvents = 256;
+
+    /**
+     * One pooled event record. The callable lives in `storage` (or, if
+     * it does not fit, `storage` holds a pointer to a heap copy);
+     * `invoke`/`destroy` are the manual vtable for the erased type.
+     */
+    struct Event
+    {
+        void (*invoke)(Event &) = nullptr;
+        void (*destroy)(Event &) = nullptr;
+        Event *next_free = nullptr;
+        alignas(std::max_align_t) unsigned char
+            storage[kInlineCallbackBytes];
+    };
+
+    /** Heap element: all ordering state, plus the payload pointer. */
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
-        Callback fn;
+        Event *ev;
     };
 
-    struct Later
+    template <typename F>
+    static void
+    bindCallback(Event &ev, F &&fn)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineCallbackBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(ev.storage))
+                Fn(std::forward<F>(fn));
+            ev.invoke = [](Event &e) {
+                (*std::launder(reinterpret_cast<Fn *>(e.storage)))();
+            };
+            ev.destroy = [](Event &e) {
+                std::launder(reinterpret_cast<Fn *>(e.storage))->~Fn();
+            };
+        } else {
+            // Oversized capture: spill to the heap, store the pointer.
+            ::new (static_cast<void *>(ev.storage))
+                (Fn *)(new Fn(std::forward<F>(fn)));
+            ev.invoke = [](Event &e) {
+                (**std::launder(reinterpret_cast<Fn **>(e.storage)))();
+            };
+            ev.destroy = [](Event &e) {
+                delete *std::launder(reinterpret_cast<Fn **>(e.storage));
+            };
         }
-    };
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> events_;
+    /** True when @p a fires strictly before @p b. */
+    static bool
+    firesBefore(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    Event *allocate();
+    void release(Event *ev);
+    void destroyPending();
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    std::vector<HeapEntry> heap_; ///< binary min-heap by (when, seq)
+    std::vector<std::unique_ptr<Event[]>> slabs_;
+    Event *free_list_ = nullptr;
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;

@@ -5,49 +5,100 @@
 
 namespace wo {
 
-void
-StatSet::inc(const std::string &name, std::uint64_t delta)
+StatHandle
+StatSet::handle(const std::string &name, Kind kind)
 {
-    values_[name] += delta;
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        if (kind == Kind::Max)
+            slots_[it->second].kind = Kind::Max;
+        return StatHandle(it->second);
+    }
+    std::uint32_t idx = static_cast<std::uint32_t>(slots_.size());
+    Slot slot;
+    slot.name = name;
+    slot.kind = kind;
+    slots_.push_back(std::move(slot));
+    index_.emplace(name, idx);
+    return StatHandle(idx);
 }
 
 void
 StatSet::set(const std::string &name, std::uint64_t value)
 {
-    values_[name] = value;
+    Slot &s = slots_[handle(name).idx_];
+    s.value = value;
+    s.touched = true;
+    dirty_ = true;
 }
 
-void
-StatSet::maxOf(const std::string &name, std::uint64_t value)
+const StatSet::Slot *
+StatSet::find(const std::string &name) const
 {
-    auto it = values_.find(name);
-    if (it == values_.end() || it->second < value)
-        values_[name] = value;
+    auto it = index_.find(name);
+    if (it == index_.end())
+        return nullptr;
+    const Slot &s = slots_[it->second];
+    return s.touched ? &s : nullptr;
 }
 
 std::uint64_t
 StatSet::get(const std::string &name) const
 {
-    auto it = values_.find(name);
-    return it == values_.end() ? 0 : it->second;
+    const Slot *s = find(name);
+    return s ? s->value : 0;
 }
 
 bool
 StatSet::has(const std::string &name) const
 {
-    return values_.find(name) != values_.end();
+    return find(name) != nullptr;
 }
 
 void
 StatSet::merge(const StatSet &other)
 {
-    for (const auto &[k, v] : other.values_)
-        values_[k] += v;
+    for (const Slot &theirs : other.slots_) {
+        if (!theirs.touched)
+            continue;
+        Slot &mine = slots_[handle(theirs.name, theirs.kind).idx_];
+        if (mine.kind == Kind::Max) {
+            if (!mine.touched || mine.value < theirs.value)
+                mine.value = theirs.value;
+        } else {
+            mine.value += theirs.value;
+        }
+        mine.touched = true;
+    }
+    dirty_ = true;
+}
+
+void
+StatSet::clear()
+{
+    slots_.clear();
+    index_.clear();
+    values_.clear();
+    dirty_ = false;
+}
+
+void
+StatSet::syncValues() const
+{
+    if (!dirty_)
+        return;
+    values_.clear();
+    for (const Slot &s : slots_) {
+        if (s.touched)
+            values_[s.name] = s.value;
+    }
+    dirty_ = false;
 }
 
 void
 StatSet::dump(std::ostream &os, const std::string &prefix_filter) const
 {
+    syncValues();
     std::size_t width = 0;
     for (const auto &[k, v] : values_) {
         if (k.rfind(prefix_filter, 0) == 0)
@@ -65,6 +116,7 @@ void
 StatSet::dumpJson(std::ostream &os, const std::string &prefix_filter,
                   int indent) const
 {
+    syncValues();
     // Names are "component.stat" identifiers; escape the JSON string
     // metacharacters anyway so arbitrary names stay well-formed.
     auto escape = [](const std::string &s) {

@@ -1,0 +1,151 @@
+#include "system/machine_spec.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wo {
+
+SystemConfig
+MachineSpec::config(PolicyKind policy, std::uint64_t netSeed) const
+{
+    SystemConfig cfg;
+    cfg.policy = policy;
+    cfg.cached = cached;
+    cfg.interconnect = interconnect;
+    cfg.writeBuffer =
+        policy == PolicyKind::Relaxed && writeBufferOnRelaxed;
+    cfg.warmCaches = warmCaches;
+    cfg.numMemModules = numMemModules;
+    cfg.numDirs = numDirs;
+    cfg.bus.latency = busLatency;
+    cfg.bus.occupancy = busOccupancy;
+    cfg.net.base = netBase;
+    cfg.net.jitter = netJitter;
+    cfg.net.seed = netSeed;
+    return cfg;
+}
+
+const std::vector<MachineSpec> &
+machineRegistry()
+{
+    static const std::vector<MachineSpec> registry = [] {
+        std::vector<MachineSpec> r;
+
+        MachineSpec bus;
+        bus.name = "bus";
+        bus.summary = "shared-bus cache-coherent machine; write buffers "
+                      "under Relaxed";
+        bus.interconnect = InterconnectKind::Bus;
+        bus.writeBufferOnRelaxed = true;
+        r.push_back(bus);
+
+        MachineSpec bus_u;
+        bus_u.name = "bus-u";
+        bus_u.summary =
+            "cache-less shared-bus machine (Figure 1 case 1)";
+        bus_u.interconnect = InterconnectKind::Bus;
+        bus_u.cached = false;
+        bus_u.writeBufferOnRelaxed = true;
+        r.push_back(bus_u);
+
+        MachineSpec bus_slow;
+        bus_slow.name = "bus-slow";
+        bus_slow.summary =
+            "contended shared bus: 3x latency, 4x occupancy";
+        bus_slow.interconnect = InterconnectKind::Bus;
+        bus_slow.writeBufferOnRelaxed = true;
+        bus_slow.busLatency = 12;
+        bus_slow.busOccupancy = 4;
+        r.push_back(bus_slow);
+
+        MachineSpec net;
+        net.name = "net";
+        net.summary = "jittered-network cache-coherent machine, warm "
+                      "caches";
+        net.warmCaches = true;
+        r.push_back(net);
+
+        MachineSpec net_cold;
+        net_cold.name = "net-cold";
+        net_cold.summary = "jittered-network cache-coherent machine, "
+                           "cold caches (bench default)";
+        r.push_back(net_cold);
+
+        MachineSpec net_u;
+        net_u.name = "net-u";
+        net_u.summary = "cache-less banked-memory network machine "
+                        "(Figure 1 case 2)";
+        net_u.cached = false;
+        net_u.netJitter = 30;
+        r.push_back(net_u);
+
+        MachineSpec net_banked;
+        net_banked.name = "net-banked";
+        net_banked.summary = "network machine with banked directories "
+                             "and memories (addr-interleaved)";
+        net_banked.numDirs = 2;
+        net_banked.numMemModules = 4;
+        r.push_back(net_banked);
+
+        return r;
+    }();
+    return registry;
+}
+
+const MachineSpec *
+findMachine(const std::string &name)
+{
+    for (const MachineSpec &m : machineRegistry()) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+const MachineSpec &
+machineOrThrow(const std::string &name)
+{
+    if (const MachineSpec *m = findMachine(name))
+        return *m;
+    std::string known;
+    for (const MachineSpec &m : machineRegistry())
+        known += (known.empty() ? "" : ", ") + m.name;
+    throw std::runtime_error("unknown machine '" + name +
+                             "' (known: " + known + ")");
+}
+
+std::vector<const MachineSpec *>
+parseMachineList(const std::string &csv)
+{
+    std::vector<const MachineSpec *> out;
+    std::istringstream in(csv);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (item.empty())
+            continue;
+        out.push_back(&machineOrThrow(item));
+    }
+    if (out.empty())
+        throw std::runtime_error("empty machine list");
+    return out;
+}
+
+void
+printMachineList(std::ostream &os)
+{
+    os << std::left << std::setw(12) << "machine" << std::setw(9)
+       << "network" << std::setw(8) << "cached" << std::setw(8)
+       << "jitter" << "description\n";
+    for (const MachineSpec &m : machineRegistry()) {
+        bool is_net = m.interconnect == InterconnectKind::Network;
+        os << std::left << std::setw(12) << m.name << std::setw(9)
+           << (is_net ? "net" : "bus") << std::setw(8)
+           << (m.cached ? "yes" : "no") << std::setw(8)
+           << (is_net ? std::to_string(m.netJitter) : std::string("-"))
+           << m.summary << "\n";
+    }
+}
+
+} // namespace wo

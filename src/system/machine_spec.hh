@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Named machine registry: the single place where the simulated machines
+ * of this repo are defined.
+ *
+ * Every tool, bench and example used to assemble its `SystemConfig`s by
+ * hand, which duplicated the paper's hardware configurations in a dozen
+ * places and let them drift. A MachineSpec is a named, documented recipe
+ * for one machine; `config()` produces the corresponding SystemConfig.
+ * Call sites obtain a base config from the registry and then apply
+ * site-specific tuning (tick limits, cache geometry, sweep knobs) — they
+ * never assemble a SystemConfig from scratch.
+ *
+ * Registered machines:
+ *   bus        shared-bus, cache-coherent; write buffers under Relaxed
+ *   bus-u      cache-less shared bus (Figure 1 case 1)
+ *   bus-slow   contended shared bus: 3x latency, 4x occupancy
+ *   net        jittered-network, cache-coherent, warm caches
+ *   net-cold   jittered-network, cache-coherent, cold caches
+ *   net-u      cache-less banked-memory network (Figure 1 case 2)
+ *   net-banked network machine with banked directories and memories
+ */
+
+#ifndef WO_SYSTEM_MACHINE_SPEC_HH
+#define WO_SYSTEM_MACHINE_SPEC_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace wo {
+
+/** A named, documented recipe for one simulated machine. */
+struct MachineSpec
+{
+    std::string name;
+    std::string summary; ///< one-line description (--list-machines)
+
+    InterconnectKind interconnect = InterconnectKind::Network;
+    bool cached = true;
+
+    /** Start with warm caches (steady-state sharing). */
+    bool warmCaches = false;
+
+    /** Enable write buffers when the policy is Relaxed (the classic
+     * Figure 1 reordering source on the bus). */
+    bool writeBufferOnRelaxed = false;
+
+    Tick netBase = 6;   ///< network minimum latency
+    Tick netJitter = 8; ///< network jitter bound (ignored on the bus)
+    Tick busLatency = 4;
+    Tick busOccupancy = 1;
+
+    int numMemModules = 2; ///< memory banks (cache-less systems)
+    int numDirs = 1;       ///< directory banks (cache-coherent systems)
+
+    /**
+     * Produce this machine's SystemConfig for @p policy.
+     *
+     * @p netSeed seeds the network jitter stream (ignored on the bus);
+     * the default matches a default-constructed GeneralNetwork::Config.
+     */
+    SystemConfig config(PolicyKind policy = PolicyKind::Def2Drf0,
+                        std::uint64_t netSeed = 1) const;
+};
+
+/** All registered machines, in listing order. */
+const std::vector<MachineSpec> &machineRegistry();
+
+/** Look up a machine by name; nullptr if unknown. */
+const MachineSpec *findMachine(const std::string &name);
+
+/** Look up a machine by name; throws std::runtime_error (naming the
+ * known machines) if unknown. */
+const MachineSpec &machineOrThrow(const std::string &name);
+
+/**
+ * Parse a comma-separated machine-name list (the --machines=<list>
+ * argument). Throws std::runtime_error on an empty list or unknown
+ * name.
+ */
+std::vector<const MachineSpec *>
+parseMachineList(const std::string &csv);
+
+/** Print the registry as an aligned table: name, interconnect, cached,
+ * jitter, description (the --list-machines output). */
+void printMachineList(std::ostream &os);
+
+} // namespace wo
+
+#endif // WO_SYSTEM_MACHINE_SPEC_HH

@@ -5,9 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/legacy_event_queue.hh"
 #include "sim/rng.hh"
 
 namespace wo {
@@ -102,6 +107,125 @@ TEST(EventQueue, SameTickChainingRunsSameTick)
     EXPECT_TRUE(eq.run());
     EXPECT_TRUE(inner);
     EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(EventQueue, ScheduleAtPastTickThrowsInEveryBuildType)
+{
+    EventQueue eq;
+    eq.scheduleAt(10, [] {});
+    EXPECT_TRUE(eq.run());
+    ASSERT_EQ(eq.now(), 10u);
+    EXPECT_THROW(eq.scheduleAt(9, [] {}), std::logic_error);
+    // The present tick and the future stay schedulable, and the failed
+    // call must not have corrupted the queue.
+    int fired = 0;
+    eq.scheduleAt(10, [&] { ++fired; });
+    eq.scheduleAfter(0, [&] { ++fired; });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, LegacyKernelAlsoThrowsOnPastTick)
+{
+    LegacyEventQueue eq;
+    eq.scheduleAt(10, [] {});
+    EXPECT_TRUE(eq.run());
+    EXPECT_THROW(eq.scheduleAt(9, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, PoolRecyclesAcrossManySlabs)
+{
+    // Far more live events than one 256-record slab, then steady churn
+    // through the free list; every callback must fire exactly once.
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    for (int wave = 0; wave < 4; ++wave) {
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleAfter(1 + i % 7, [&] { ++fired; });
+        EXPECT_TRUE(eq.run());
+    }
+    EXPECT_EQ(fired, 4000u);
+    EXPECT_EQ(eq.executed(), 4000u);
+}
+
+TEST(EventQueue, OversizedCapturesSpillToHeapIntact)
+{
+    EventQueue eq;
+    std::array<std::uint64_t, 32> big{};
+    for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = i * 3 + 1;
+    std::uint64_t sum = 0;
+    static_assert(sizeof(big) > 72, "capture must exceed inline storage");
+    eq.scheduleAt(5, [&sum, big] {
+        for (std::uint64_t v : big)
+            sum += v;
+    });
+    EXPECT_TRUE(eq.run());
+    std::uint64_t want = 0;
+    for (std::uint64_t v : big)
+        want += v;
+    EXPECT_EQ(sum, want);
+}
+
+TEST(EventQueue, ResetRetainsPoolAndReplaysIdentically)
+{
+    EventQueue eq;
+    std::vector<Tick> first, second;
+    auto load = [&](std::vector<Tick> &trace) {
+        for (int i = 0; i < 300; ++i)
+            eq.scheduleAt(i % 11, [&trace, &eq] {
+                trace.push_back(eq.now());
+            });
+        EXPECT_TRUE(eq.run());
+    };
+    load(first);
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    load(second);
+    EXPECT_EQ(first, second);
+}
+
+/**
+ * Golden event-order trace: a randomized self-scheduling workload must
+ * fire the identical (tick, event-id) sequence on the pooled kernel and
+ * on the historical priority_queue<std::function> kernel it replaced.
+ * The Rng is consumed inside callbacks, so any ordering divergence
+ * cascades and the traces differ.
+ */
+template <class Q>
+std::vector<std::pair<Tick, std::uint64_t>>
+randomSelfSchedulingTrace(std::uint64_t seed)
+{
+    Q q;
+    Rng rng(seed);
+    std::vector<std::pair<Tick, std::uint64_t>> trace;
+    std::uint64_t next_id = 0;
+    std::function<void(std::uint64_t)> fire = [&](std::uint64_t id) {
+        trace.emplace_back(q.now(), id);
+        if (trace.size() >= 4000)
+            return;
+        std::uint64_t children = rng.below(3);
+        for (std::uint64_t c = 0; c < children; ++c) {
+            std::uint64_t child = next_id++;
+            q.scheduleAfter(rng.below(5), [&fire, child] { fire(child); });
+        }
+    };
+    for (int i = 0; i < 64; ++i) {
+        std::uint64_t id = next_id++;
+        q.scheduleAt(rng.below(16), [&fire, id] { fire(id); });
+    }
+    EXPECT_TRUE(q.run());
+    return trace;
+}
+
+TEST(EventQueue, MatchesLegacyKernelFireSequence)
+{
+    for (std::uint64_t seed : {1ull, 7ull, 42ull, 20260806ull}) {
+        auto pooled = randomSelfSchedulingTrace<EventQueue>(seed);
+        auto legacy = randomSelfSchedulingTrace<LegacyEventQueue>(seed);
+        ASSERT_GT(pooled.size(), 64u) << "seed " << seed;
+        EXPECT_EQ(pooled, legacy) << "seed " << seed;
+    }
 }
 
 TEST(Rng, DeterministicForSeed)

@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
+#include <string>
+
+#include <sys/wait.h>
 
 #include "litmus/compiler.hh"
 #include "litmus/expect.hh"
@@ -359,6 +363,46 @@ TEST(LitmusRunner, FindLitmusFilesRejectsMissingPath)
     EXPECT_THROW(findLitmusFiles({"/nonexistent/path.litmus"}),
                  std::runtime_error);
 }
+
+TEST(LitmusRunner, DefaultMachinesAreTheHistoricalVariants)
+{
+    std::vector<const MachineSpec *> machines = defaultMachines();
+    ASSERT_EQ(machines.size(), 3u);
+    EXPECT_EQ(machines[0]->name, "bus");
+    EXPECT_EQ(machines[1]->name, "net");
+    EXPECT_EQ(machines[2]->name, "net-u");
+}
+
+#ifdef WO_LITMUS_BIN
+/** Exit status of the wo-litmus binary run with @p args. */
+int
+woLitmusExit(const std::string &args)
+{
+    std::string cmd = std::string(WO_LITMUS_BIN) + " " + args +
+                      " > /dev/null 2> /dev/null";
+    int rc = std::system(cmd.c_str());
+    EXPECT_TRUE(WIFEXITED(rc)) << cmd;
+    return WEXITSTATUS(rc);
+}
+
+TEST(WoLitmusTool, ListMachinesExitsZero)
+{
+    // --list-machines needs no corpus argument and must exit 0.
+    EXPECT_EQ(woLitmusExit("--list-machines"), 0);
+}
+
+TEST(WoLitmusTool, UnknownMachineExitsTwo)
+{
+    EXPECT_EQ(woLitmusExit("--machines=warp-drive"), 2);
+    EXPECT_EQ(woLitmusExit("--machines="), 2);
+}
+
+TEST(WoLitmusTool, BadUsageExitsTwo)
+{
+    EXPECT_EQ(woLitmusExit("--no-such-flag"), 2);
+    EXPECT_EQ(woLitmusExit(""), 2); // no corpus paths
+}
+#endif // WO_LITMUS_BIN
 
 } // namespace
 } // namespace litmus_dsl

@@ -58,6 +58,101 @@ TEST(StatSet, MergeSums)
     EXPECT_EQ(a.get("z"), 4u);
 }
 
+TEST(StatSet, MergeCombinesMaxKindWithMax)
+{
+    // Regression: merge() used to sum every shared name, so high-water
+    // marks (cacheN.counter_max) merged across campaign shards reported
+    // a level no single run ever reached.
+    StatSet a, b, c;
+    a.maxOf("cache0.counter_max", 5);
+    b.maxOf("cache0.counter_max", 9);
+    c.maxOf("cache0.counter_max", 3);
+    a.merge(b);
+    EXPECT_EQ(a.get("cache0.counter_max"), 9u);
+    a.merge(c);
+    EXPECT_EQ(a.get("cache0.counter_max"), 9u);
+}
+
+TEST(StatSet, MergeAdoptsKindForStatsAbsentOnThisSide)
+{
+    // A max-kind stat absent locally must arrive as max-kind, so a later
+    // merge still takes the maximum instead of summing.
+    StatSet a, b, c;
+    b.maxOf("m", 7);
+    c.maxOf("m", 5);
+    a.merge(b);
+    a.merge(c);
+    EXPECT_EQ(a.get("m"), 7u);
+}
+
+TEST(StatSet, MergeMixedKindsInOnePass)
+{
+    StatSet a, b;
+    a.inc("events", 10);
+    a.maxOf("depth", 4);
+    b.inc("events", 3);
+    b.maxOf("depth", 2);
+    a.merge(b);
+    EXPECT_EQ(a.get("events"), 13u);
+    EXPECT_EQ(a.get("depth"), 4u);
+}
+
+TEST(StatSet, HandlePathMatchesStringPath)
+{
+    // Components bump interned handles on the hot path; harnesses use
+    // names. Both must produce identical reported state.
+    StatSet via_handle, via_string;
+
+    StatHandle hits = via_handle.handle("cache.hits");
+    StatHandle depth =
+        via_handle.handle("cache.depth", StatSet::Kind::Max);
+    via_handle.inc(hits);
+    via_handle.inc(hits, 4);
+    via_handle.maxOf(depth, 6);
+    via_handle.maxOf(depth, 2);
+
+    via_string.inc("cache.hits");
+    via_string.inc("cache.hits", 4);
+    via_string.maxOf("cache.depth", 6);
+    via_string.maxOf("cache.depth", 2);
+
+    EXPECT_EQ(via_handle.all(), via_string.all());
+    std::ostringstream jh, js;
+    via_handle.dumpJson(jh);
+    via_string.dumpJson(js);
+    EXPECT_EQ(jh.str(), js.str());
+
+    // And the two paths interoperate on one set: same name, same slot.
+    via_handle.inc("cache.hits", 5);
+    EXPECT_EQ(via_handle.get("cache.hits"), 10u);
+}
+
+TEST(StatSet, HandleIsIdempotentAndReservationInvisible)
+{
+    StatSet s;
+    StatHandle h1 = s.handle("x");
+    StatHandle h2 = s.handle("x");
+    // Interning alone must not surface the stat in any report.
+    EXPECT_FALSE(s.has("x"));
+    EXPECT_TRUE(s.all().empty());
+    std::ostringstream oss;
+    s.dumpJson(oss);
+    EXPECT_EQ(oss.str(), "{}");
+
+    s.inc(h1, 2);
+    s.inc(h2, 3);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_EQ(s.get("x"), 5u);
+}
+
+TEST(StatSet, DefaultHandleIsInvalid)
+{
+    StatHandle h;
+    EXPECT_FALSE(h.valid());
+    StatSet s;
+    EXPECT_TRUE(s.handle("a").valid());
+}
+
 TEST(StatSet, DumpFiltersByPrefix)
 {
     StatSet s;

@@ -11,10 +11,12 @@
  * for any --threads value.
  *
  * Options:
- *   --seeds=N        seeds per (policy, variant) cell        [20]
+ *   --seeds=N        seeds per (policy, machine) cell        [20]
  *   --threads=N      worker threads (or WO_THREADS)          [hardware]
  *   --seed=S         base of the deterministic seed stream   [1]
  *   --policies=a,b   subset of sc,def1,def2drf0,def2drf1,relaxed
+ *   --machines=a,b   machine-registry subset to run on       [bus,net,net-u]
+ *   --list-machines  print the machine registry and exit
  *   --json[=FILE]    write a JSON report (to FILE, else stdout)
  *   --no-verify      skip per-run SC verification
  *   --no-drf0-memo   re-run the sampled DRF0 check for every test
@@ -47,6 +49,7 @@ usage(std::ostream &os)
     os << "usage: wo-litmus [--seeds=N] [--threads=N] [--seed=S]\n"
           "                 [--policies=sc,def1,def2drf0,def2drf1,"
           "relaxed]\n"
+          "                 [--machines=LIST] [--list-machines]\n"
           "                 [--json[=FILE]] [--no-verify] "
           "[--no-drf0-memo]\n"
           "                 [--no-histograms] [--list]\n"
@@ -91,6 +94,7 @@ main(int argc, char **argv)
     bool histograms = true;
     std::string json_file;
     std::vector<std::string> paths;
+    std::vector<const MachineSpec *> machines = defaultMachines();
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -106,6 +110,16 @@ main(int argc, char **argv)
                           << arg.substr(11) << "'\n";
                 return 2;
             }
+        } else if (arg.rfind("--machines=", 0) == 0) {
+            try {
+                machines = parseMachineList(arg.substr(11));
+            } catch (const std::exception &e) {
+                std::cerr << "wo-litmus: " << e.what() << "\n";
+                return 2;
+            }
+        } else if (arg == "--list-machines") {
+            printMachineList(std::cout);
+            return 0;
         } else if (arg == "--json") {
             json = true;
         } else if (arg.rfind("--json=", 0) == 0) {
@@ -157,7 +171,7 @@ main(int argc, char **argv)
         return 0;
     }
 
-    CorpusReport report = runCorpus(tests, options);
+    CorpusReport report = runCorpus(tests, options, machines);
     printReport(std::cout, report, histograms);
 
     if (json) {
