@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tracing-overhead micro-harness: measures simulator throughput with
+ * tracing disabled (no sink attached — the shipping default) against
+ * tracing fully enabled (a TraceBuffer with the all-components mask),
+ * over the same deterministic lock-contention workloads.
+ *
+ *   $ trace_overhead [--quick] [--json=FILE]
+ *
+ * The disabled-path number is the one that matters: every component
+ * guards its instrumentation behind a single `if (sink_)` test, so an
+ * untraced run must stay within noise of a build that never had the
+ * observability layer. The enabled-path number quantifies what a traced
+ * debugging run costs (event construction + buffer append + histogram
+ * updates).
+ *
+ * The measurement loop matches the PR-4 event-kernel gate: 600 runs
+ * (60 with --quick) of tasLockCounter(4,4) + tttasLockCounter(4,4) on
+ * net-cold under Def2Drf0, seeds 1..runs, accumulating executed-event
+ * counts. Results print as a table and dump as JSON (default file:
+ * BENCH_trace_overhead.json); --quick shrinks repetitions for CI smoke
+ * runs with an identical JSON schema.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/trace_sink.hh"
+#include "system/machine_spec.hh"
+#include "system/system.hh"
+#include "workload/litmus.hh"
+
+namespace {
+
+using namespace wo;
+
+struct Sample
+{
+    std::uint64_t events = 0;
+    double seconds = 0.0;
+
+    double
+    eventsPerSec() const
+    {
+        return seconds > 0 ? static_cast<double>(events) / seconds : 0.0;
+    }
+};
+
+/**
+ * One full measurement pass: @p runs iterations of both lock workloads,
+ * recording into @p sink when non-null.
+ */
+Sample
+measure(int runs, TraceSink *sink)
+{
+    MultiProgram tas = tasLockCounter(4, 4);
+    MultiProgram tttas = tttasLockCounter(4, 4);
+
+    // Warm caches / allocator before timing.
+    for (int i = 0; i < 5; ++i) {
+        SystemConfig cfg =
+            machineOrThrow("net-cold").config(PolicyKind::Def2Drf0, 1 + i);
+        System sys(tttas, cfg);
+        sys.run();
+    }
+
+    Sample s;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < runs; ++i) {
+        for (const MultiProgram *mp : {&tas, &tttas}) {
+            SystemConfig cfg = machineOrThrow("net-cold").config(
+                PolicyKind::Def2Drf0, 1 + i);
+            cfg.traceSink = sink;
+            System sys(*mp, cfg);
+            sys.run();
+            s.events += sys.eventQueue().executed();
+        }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int runs = 600;
+    std::string json_file = "BENCH_trace_overhead.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            runs = 60;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_file = arg.substr(7);
+        } else {
+            std::cerr << "usage: trace_overhead [--quick] [--json=FILE]\n";
+            return 2;
+        }
+    }
+
+    Sample off = measure(runs, nullptr);
+
+    // The traced pass uses a fresh buffer per run so memory stays
+    // bounded and each run pays the realistic append cost from empty.
+    MultiProgram tas = tasLockCounter(4, 4);
+    MultiProgram tttas = tttasLockCounter(4, 4);
+    Sample on;
+    {
+        for (int i = 0; i < 5; ++i) {
+            SystemConfig cfg = machineOrThrow("net-cold").config(
+                PolicyKind::Def2Drf0, 1 + i);
+            System sys(tttas, cfg);
+            sys.run();
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < runs; ++i) {
+            for (const MultiProgram *mp : {&tas, &tttas}) {
+                TraceBuffer buf;
+                SystemConfig cfg = machineOrThrow("net-cold").config(
+                    PolicyKind::Def2Drf0, 1 + i);
+                cfg.traceSink = &buf;
+                System sys(*mp, cfg);
+                sys.run();
+                on.events += sys.eventQueue().executed();
+            }
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        on.seconds = std::chrono::duration<double>(t1 - t0).count();
+    }
+
+    double overhead_pct =
+        off.eventsPerSec() > 0
+            ? (off.eventsPerSec() / on.eventsPerSec() - 1.0) * 100.0
+            : 0.0;
+
+    std::printf("trace_overhead (%d runs x 2 workloads, net-cold, "
+                "def2drf0)\n",
+                runs);
+    std::printf("  %-14s %12s %10s %16s\n", "mode", "events", "sec",
+                "events/sec");
+    std::printf("  %-14s %12llu %10.4f %16.0f\n", "tracing off",
+                (unsigned long long)off.events, off.seconds,
+                off.eventsPerSec());
+    std::printf("  %-14s %12llu %10.4f %16.0f\n", "tracing on",
+                (unsigned long long)on.events, on.seconds,
+                on.eventsPerSec());
+    std::printf("  enabled-path cost: %.1f%%\n", overhead_pct);
+
+    std::ofstream out(json_file);
+    if (!out) {
+        std::cerr << "trace_overhead: cannot write " << json_file << "\n";
+        return 2;
+    }
+    out << "{\n"
+        << "  \"bench\": \"trace_overhead\",\n"
+        << "  \"runs\": " << runs << ",\n"
+        << "  \"off\": {\"events\": " << off.events
+        << ", \"events_per_sec\": "
+        << static_cast<std::uint64_t>(off.eventsPerSec()) << "},\n"
+        << "  \"on\": {\"events\": " << on.events
+        << ", \"events_per_sec\": "
+        << static_cast<std::uint64_t>(on.eventsPerSec()) << "},\n"
+        << "  \"enabled_overhead_pct\": "
+        << static_cast<std::int64_t>(overhead_pct * 10) / 10.0 << "\n"
+        << "}\n";
+    std::printf("json written to %s\n", json_file.c_str());
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace_sink.hh"
 #include "sim/logging.hh"
 
 namespace wo {
@@ -31,6 +32,22 @@ Cache::Cache(EventQueue &eq, Interconnect &net, StatSet &stats, NodeId node,
     stat_.recallsQueued = stats_.handle(name_ + ".recalls_queued");
     stat_.recallsServiced = stats_.handle(name_ + ".recalls_serviced");
     net_.attach(node_, [this](const Msg &m) { handle(m); });
+}
+
+void
+Cache::emitEvent(TraceKind kind, Addr addr, std::int64_t aux,
+                 const char *detail)
+{
+    TraceEvent ev;
+    ev.tick = eq_.now();
+    ev.comp = TraceComp::Cache;
+    ev.kind = kind;
+    ev.compId = node_;
+    ev.proc = node_;
+    ev.addr = addr;
+    ev.aux = aux;
+    ev.detail = detail;
+    sink_->record(ev);
 }
 
 bool
@@ -177,6 +194,8 @@ Cache::commitOnLine(const CacheOp &op, Line &line, bool gp_now, Tick delay)
             line.reserved = true;
             ++reserved_count_;
             stats_.inc(stat_.reserves);
+            if (sink_)
+                emitEvent(TraceKind::ReserveSet, op.addr, counter_);
         }
         line.reservedUpTo = next_miss_seq_;
     }
@@ -210,6 +229,8 @@ Cache::access(const CacheOp &op)
     // an earlier write becomes globally performed with that ack.
     if (l && (!as_write || l->state == LineState::Exclusive)) {
         stats_.inc(stat_.hits);
+        if (sink_)
+            emitEvent(TraceKind::Hit, op.addr);
         bool gp_now = as_write ? !l->pendingGp : true;
         commitOnLine(op, *l, gp_now, cfg_.hitLatency);
         return;
@@ -226,6 +247,8 @@ Cache::access(const CacheOp &op)
         misses_while_reserved_ >= cfg_.maxMissesWhileReserved) {
         stalled_ops_.push_back(op);
         stats_.inc(stat_.stalledByReserveBound);
+        if (sink_)
+            emitEvent(TraceKind::MissStalled, op.addr, 0, "reserve_bound");
         return;
     }
 
@@ -234,11 +257,18 @@ Cache::access(const CacheOp &op)
         if (!makeRoomFor(op.addr)) {
             stalled_ops_.push_back(op);
             stats_.inc(stat_.stalledByEviction);
+            if (sink_)
+                emitEvent(TraceKind::MissStalled, op.addr, 0, "eviction");
             return;
         }
     }
 
     ++counter_;
+    if (sink_) {
+        emitEvent(TraceKind::Miss, op.addr, 0,
+                  upgrade ? "upgrade" : (as_write ? "write" : "read"));
+        emitEvent(TraceKind::CounterInc, op.addr, counter_);
+    }
     stats_.maxOf(stat_.counterMax, static_cast<std::uint64_t>(counter_));
     if (anyReserved())
         ++misses_while_reserved_;
@@ -372,8 +402,12 @@ Cache::handleInv(const Msg &msg)
         assert(!l->reserved && "shared lines are never reserved");
         lines_.erase(msg.addr);
         stats_.inc(stat_.invalidations);
+        if (sink_)
+            emitEvent(TraceKind::InvApplied, msg.addr);
     } else {
         stats_.inc(stat_.staleInvalidations);
+        if (sink_)
+            emitEvent(TraceKind::InvApplied, msg.addr, 0, "stale");
     }
     Msg ack;
     ack.type = MsgType::InvAck;
@@ -382,9 +416,13 @@ Cache::handleInv(const Msg &msg)
     ack.addr = msg.addr;
     if (cfg_.invApplyDelay > 0) {
         eq_.scheduleAfter(cfg_.invApplyDelay, [this, ack] {
+            if (sink_)
+                emitEvent(TraceKind::InvAcked, ack.addr);
             net_.send(ack);
         });
     } else {
+        if (sink_)
+            emitEvent(TraceKind::InvAcked, ack.addr);
         net_.send(ack);
     }
 }
@@ -410,6 +448,8 @@ Cache::handleRecall(const Msg &msg)
         // reserved line is stalled until the counter reads zero.
         stalled_recalls_.push_back(msg);
         stats_.inc(stat_.recallsQueued);
+        if (sink_)
+            emitEvent(TraceKind::RecallQueued, msg.addr);
         return;
     }
     serviceRecall(msg);
@@ -443,6 +483,8 @@ Cache::serviceRecall(const Msg &msg)
         resp.type = MsgType::RecallInvData;
     }
     stats_.inc(stat_.recallsServiced);
+    if (sink_)
+        emitEvent(TraceKind::RecallServiced, msg.addr);
     net_.send(resp);
 }
 
@@ -464,6 +506,8 @@ Cache::decrementCounter(std::uint64_t miss_seq)
 {
     assert(counter_ > 0);
     --counter_;
+    if (sink_)
+        emitEvent(TraceKind::CounterDec, kNoTraceAddr, counter_);
     outstanding_miss_seqs_.erase(miss_seq);
     updateReservations();
     if (counter_ == 0)
@@ -492,6 +536,8 @@ Cache::updateReservations()
             l.reserved = false;
             --reserved_count_;
             released.push_back(a);
+            if (sink_)
+                emitEvent(TraceKind::ReserveClear, a, counter_);
         }
     }
     if (reserved_count_ == 0)

@@ -37,11 +37,14 @@
 #include "cpu/isa.hh"
 #include "cpu/mem_port.hh"
 #include "mem/interconnect.hh"
+#include "obs/trace_event.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace wo {
+
+class TraceSink;
 
 /** States of a cache line (lines are one word wide). */
 enum class LineState { Shared, Exclusive };
@@ -132,6 +135,11 @@ class Cache : public MemPort
     /** Incoming message handler (attached to the interconnect). */
     void handle(const Msg &msg);
 
+    /** Attach a structured trace sink (nullptr detaches). Emits
+     * hit/miss, counter, reserve-bit, invalidation and recall events;
+     * the disabled path costs one null test per potential event. */
+    void setTraceSink(TraceSink *sink) { sink_ = sink; }
+
   private:
     struct Line
     {
@@ -192,6 +200,10 @@ class Cache : public MemPort
     int setOf(Addr addr) const;
     NodeId dirFor(Addr addr) const;
 
+    /** Emit one structured trace event (sink_ must be non-null). */
+    void emitEvent(TraceKind kind, Addr addr, std::int64_t aux = 0,
+                   const char *detail = nullptr);
+
     EventQueue &eq_;
     Interconnect &net_;
     StatSet &stats_;
@@ -233,6 +245,9 @@ class Cache : public MemPort
     int counter_ = 0;
     int reserved_count_ = 0;
     int misses_while_reserved_ = 0;
+
+    /** Structured tracing (null = disabled path). */
+    TraceSink *sink_ = nullptr;
 };
 
 } // namespace wo

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace_sink.hh"
 #include "sim/logging.hh"
 
 namespace wo {
@@ -76,9 +77,29 @@ Directory::lineOf(Addr addr)
 }
 
 void
+Directory::emitEvent(TraceKind kind, Addr addr, NodeId dst)
+{
+    TraceEvent ev;
+    ev.tick = eq_.now();
+    ev.comp = TraceComp::Dir;
+    ev.kind = kind;
+    ev.compId = node_;
+    ev.src = node_;
+    ev.dst = dst;
+    ev.addr = addr;
+    sink_->record(ev);
+}
+
+void
 Directory::sendTo(NodeId dst, MsgType type, Addr addr, Word value,
                   bool for_sync)
 {
+    if (sink_) {
+        if (type == MsgType::Inv)
+            emitEvent(TraceKind::InvSent, addr, dst);
+        else if (type == MsgType::Recall || type == MsgType::RecallInv)
+            emitEvent(TraceKind::RecallSent, addr, dst);
+    }
     Msg m;
     m.type = type;
     m.src = node_;
@@ -92,6 +113,8 @@ Directory::sendTo(NodeId dst, MsgType type, Addr addr, Word value,
 void
 Directory::reply(const Msg &req, MsgType type, Word value, int ack_count)
 {
+    if (sink_ && type == MsgType::WriteAck)
+        emitEvent(TraceKind::WriteAckSent, req.addr, req.src);
     Msg m;
     m.type = type;
     m.src = node_;

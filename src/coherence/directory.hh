@@ -27,11 +27,14 @@
 #include <string>
 
 #include "mem/interconnect.hh"
+#include "obs/trace_event.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace wo {
+
+class TraceSink;
 
 /** Configuration of a directory bank. */
 struct DirectoryConfig
@@ -78,6 +81,10 @@ class Directory
     /** Incoming message handler. */
     void handle(const Msg &msg);
 
+    /** Attach a structured trace sink (nullptr detaches). Emits
+     * invalidate-sent, recall-sent and write-ack-sent events. */
+    void setTraceSink(TraceSink *sink) { sink_ = sink; }
+
   private:
     enum class St { Uncached, Shared, Exclusive };
 
@@ -108,6 +115,9 @@ class Directory
     void sendTo(NodeId dst, MsgType type, Addr addr, Word value = 0,
                 bool for_sync = false);
 
+    /** Emit one structured trace event (sink_ must be non-null). */
+    void emitEvent(TraceKind kind, Addr addr, NodeId dst);
+
     Line &lineOf(Addr addr);
 
     EventQueue &eq_;
@@ -130,6 +140,9 @@ class Directory
     StatHandles stat_;
 
     std::map<Addr, Line> lines_;
+
+    /** Structured tracing (null = disabled path). */
+    TraceSink *sink_ = nullptr;
 };
 
 } // namespace wo

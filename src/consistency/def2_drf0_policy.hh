@@ -35,6 +35,14 @@ class Def2Drf0Policy : public ConsistencyPolicy
     bool requiresCache() const override { return true; }
     bool syncReadsAsWrites() const override { return true; }
     bool useReserveBits() const override { return true; }
+
+    StallReason
+    refusalReason(AccessKind, const ProcState &) const override
+    {
+        // The only processor-side wait is condition 4; its length is
+        // governed by the reserve-bit machinery at remote caches.
+        return StallReason::ReserveBit;
+    }
 };
 
 } // namespace wo

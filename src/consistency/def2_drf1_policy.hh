@@ -33,6 +33,12 @@ class Def2Drf1Policy : public ConsistencyPolicy
     bool requiresCache() const override { return true; }
     bool syncReadsAsWrites() const override { return false; }
     bool useReserveBits() const override { return true; }
+
+    StallReason
+    refusalReason(AccessKind, const ProcState &) const override
+    {
+        return StallReason::ReserveBit;
+    }
 };
 
 } // namespace wo

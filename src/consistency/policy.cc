@@ -10,6 +10,20 @@
 
 namespace wo {
 
+const char *
+toString(StallReason r)
+{
+    switch (r) {
+      case StallReason::CounterNonzero: return "counter_nonzero";
+      case StallReason::ReserveBit: return "reserve_bit";
+      case StallReason::BufferFull: return "buffer_full";
+      case StallReason::Fence: return "fence";
+      case StallReason::Dependency: return "dependency";
+      case StallReason::SameAddr: return "same_addr";
+    }
+    return "?";
+}
+
 std::string
 toString(PolicyKind k)
 {

@@ -14,6 +14,7 @@
 #ifndef WO_CONSISTENCY_POLICY_HH
 #define WO_CONSISTENCY_POLICY_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -39,6 +40,41 @@ struct ProcState
     /** Writes sitting in the write buffer (relaxed systems). */
     int writeBufferDepth = 0;
 };
+
+/**
+ * Why a processor cannot dispatch right now. Every stalled cycle is
+ * attributed to exactly one reason, giving Figure 3's qualitative stall
+ * argument a quantitative per-run breakdown:
+ *
+ *  - CounterNonzero: the issue discipline is waiting for previous
+ *    accesses to be globally performed — the Section 5 counter is
+ *    nonzero (SC's one-at-a-time rule; Definition 1's stalls around
+ *    synchronization, conditions 2 and 3).
+ *  - ReserveBit: the Definition 2 disciplines' only processor-side wait
+ *    (condition 4: a previous synchronization is uncommitted). The
+ *    length of this wait is governed by the reserve-bit hardware — a
+ *    remote reserve queues the sync's recall until the remote counter
+ *    clears.
+ *  - BufferFull: structural back-pressure — the outstanding-op limit is
+ *    reached, or a synchronization waits for the write buffer to drain.
+ *  - Fence: an explicit fence instruction is waiting.
+ *  - Dependency: a register operand is still busy (scoreboard).
+ *  - SameAddr: an earlier access to the same address is uncommitted
+ *    (condition 1's same-address ordering).
+ */
+enum class StallReason : std::uint8_t {
+    CounterNonzero,
+    ReserveBit,
+    BufferFull,
+    Fence,
+    Dependency,
+    SameAddr,
+};
+
+inline constexpr int kNumStallReasons = 6;
+
+/** Snake-case reason name ("counter_nonzero", ...). */
+const char *toString(StallReason r);
 
 /** Abstract issue policy. */
 class ConsistencyPolicy
@@ -66,6 +102,19 @@ class ConsistencyPolicy
     /** Whether a write buffer (reads bypassing pending writes) is legal
      * under this policy. */
     virtual bool allowWriteBuffer() const { return false; }
+
+    /**
+     * Stall attribution: the reason behind a mayIssue() refusal (only
+     * meaningful when mayIssue just returned false). The default covers
+     * the globally-performed waits of SC and Definition 1; the
+     * Definition 2 implementations override it — their only wait is
+     * condition 4, whose duration the reserve-bit hardware governs.
+     */
+    virtual StallReason
+    refusalReason(AccessKind, const ProcState &) const
+    {
+        return StallReason::CounterNonzero;
+    }
 };
 
 /** Identifiers for the built-in policies. */

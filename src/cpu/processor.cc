@@ -2,9 +2,28 @@
 
 #include <cassert>
 
+#include "obs/trace_sink.hh"
 #include "sim/logging.hh"
 
 namespace wo {
+
+namespace {
+
+/** Static access-kind tags for TraceEvent::detail. */
+const char *
+accessKindTag(AccessKind k)
+{
+    switch (k) {
+      case AccessKind::DataRead: return "data_read";
+      case AccessKind::DataWrite: return "data_write";
+      case AccessKind::SyncRead: return "sync_read";
+      case AccessKind::SyncWrite: return "sync_write";
+      case AccessKind::SyncRmw: return "sync_rmw";
+    }
+    return "?";
+}
+
+} // namespace
 
 Processor::Processor(EventQueue &eq, StatSet &stats, ProcId id,
                      const Program &program, MemPort &port,
@@ -12,7 +31,8 @@ Processor::Processor(EventQueue &eq, StatSet &stats, ProcId id,
                      const ProcessorConfig &cfg)
     : eq_(eq), stats_(stats), id_(id), program_(program), port_(port),
       policy_(policy), trace_(trace), cfg_(cfg),
-      name_("proc" + std::to_string(id))
+      name_("proc" + std::to_string(id)),
+      lat_gp_(stats, "proc" + std::to_string(id) + ".lat_issue_gp")
 {
     stat_.instructions = stats_.handle(name_ + ".instructions");
     stat_.wbInserts = stats_.handle(name_ + ".wb_inserts");
@@ -57,18 +77,96 @@ Processor::scheduleAdvance(Tick delay)
 }
 
 void
-Processor::noteStall()
+Processor::closeStallSegment(Tick now)
 {
-    if (stall_since_ == kNoTick)
+    Tick d = now - stall_since_;
+    stall_cycles_ += d;
+    stall_by_reason_[static_cast<std::size_t>(stall_reason_)] += d;
+}
+
+void
+Processor::noteStall(StallReason why)
+{
+    if (stall_since_ == kNoTick) {
         stall_since_ = eq_.now();
+        stall_reason_ = why;
+        if (sink_) {
+            TraceEvent ev;
+            ev.tick = eq_.now();
+            ev.comp = TraceComp::Proc;
+            ev.kind = TraceKind::StallBegin;
+            ev.compId = id_;
+            ev.proc = id_;
+            ev.detail = toString(why);
+            sink_->record(ev);
+        }
+    } else if (why != stall_reason_) {
+        // Attribute the elapsed segment to the old reason, then open a
+        // new segment; total and per-reason cycles stay in lockstep.
+        closeStallSegment(eq_.now());
+        stall_since_ = eq_.now();
+        if (sink_) {
+            TraceEvent ev;
+            ev.tick = eq_.now();
+            ev.comp = TraceComp::Proc;
+            ev.kind = TraceKind::StallEnd;
+            ev.compId = id_;
+            ev.proc = id_;
+            ev.detail = toString(stall_reason_);
+            sink_->record(ev);
+            ev.kind = TraceKind::StallBegin;
+            ev.detail = toString(why);
+            sink_->record(ev);
+        }
+        stall_reason_ = why;
+    }
 }
 
 void
 Processor::noteProgress()
 {
     if (stall_since_ != kNoTick) {
-        stall_cycles_ += eq_.now() - stall_since_;
+        closeStallSegment(eq_.now());
         stall_since_ = kNoTick;
+        if (sink_) {
+            TraceEvent ev;
+            ev.tick = eq_.now();
+            ev.comp = TraceComp::Proc;
+            ev.kind = TraceKind::StallEnd;
+            ev.compId = id_;
+            ev.proc = id_;
+            ev.detail = toString(stall_reason_);
+            sink_->record(ev);
+        }
+    }
+}
+
+void
+Processor::emitOpEvent(TraceKind kind, const OpRecord &rec,
+                       std::uint64_t id)
+{
+    TraceEvent ev;
+    ev.tick = eq_.now();
+    ev.comp = TraceComp::Proc;
+    ev.kind = kind;
+    ev.compId = id_;
+    ev.proc = id_;
+    ev.addr = rec.addr;
+    ev.opId = id;
+    ev.detail = accessKindTag(rec.kind);
+    sink_->record(ev);
+}
+
+void
+Processor::finalizeObs()
+{
+    if (!sink_)
+        return;
+    stats_.set(name_ + ".stall_cycles_total", stall_cycles_);
+    for (int r = 0; r < kNumStallReasons; ++r) {
+        StallReason reason = static_cast<StallReason>(r);
+        stats_.set(name_ + ".stall." + toString(reason),
+                   stall_by_reason_[static_cast<std::size_t>(r)]);
     }
 }
 
@@ -112,14 +210,14 @@ Processor::tryAdvance()
     switch (insn.op) {
       case Opcode::Movi:
         if (regBusy(insn.dst)) {
-            noteStall();
+            noteStall(StallReason::Dependency);
             return;
         }
         regs_[insn.dst] = insn.imm;
         break;
       case Opcode::Addi:
         if (regBusy(insn.src) || regBusy(insn.dst)) {
-            noteStall();
+            noteStall(StallReason::Dependency);
             return;
         }
         regs_[insn.dst] = regs_[insn.src] + insn.imm;
@@ -129,7 +227,7 @@ Processor::tryAdvance()
       case Opcode::Beq:
       case Opcode::Bne:
         if (regBusy(insn.src)) {
-            noteStall();
+            noteStall(StallReason::Dependency);
             return;
         }
         break;
@@ -138,7 +236,7 @@ Processor::tryAdvance()
         // buffered writes) to be globally performed.
         if (not_gp_ > 0 || !write_buffer_.empty() ||
             wb_drain_in_flight_) {
-            noteStall();
+            noteStall(StallReason::Fence);
             return;
         }
         break;
@@ -148,12 +246,14 @@ Processor::tryAdvance()
         halt_tick_ = eq_.now();
         ++instructions_;
         return;
-      default: // memory operations
-        if (!issueMemOp(insn)) {
-            noteStall();
+      default: { // memory operations
+        StallReason why = StallReason::CounterNonzero;
+        if (!issueMemOp(insn, &why)) {
+            noteStall(why);
             return;
         }
         break;
+      }
     }
     noteProgress();
     ++instructions_;
@@ -171,17 +271,21 @@ Processor::tryAdvance()
 }
 
 bool
-Processor::issueMemOp(const Instruction &insn)
+Processor::issueMemOp(const Instruction &insn, StallReason *why)
 {
     AccessKind kind = insn.accessKind();
     bool is_write_like = writesMemory(kind);
     bool needs_src =
         (insn.op == Opcode::Store || insn.op == Opcode::SyncWrite) &&
         insn.src >= 0;
-    if (needs_src && regBusy(insn.src))
+    if (needs_src && regBusy(insn.src)) {
+        *why = StallReason::Dependency;
         return false;
-    if (readsMemory(kind) && regBusy(insn.dst))
+    }
+    if (readsMemory(kind) && regBusy(insn.dst)) {
+        *why = StallReason::Dependency;
         return false;
+    }
 
     Word write_value = 0;
     if (is_write_like) {
@@ -200,6 +304,7 @@ Processor::issueMemOp(const Instruction &insn)
             rec.addr = insn.addr;
             rec.committed = true; // architecturally complete at insert
             rec.fromWriteBuffer = true;
+            rec.issueTick = eq_.now();
             rec.traceId = recordTraceAccess(kind, insn.addr, write_value);
             if (trace_ && rec.traceId >= 0)
                 trace_->mutableAt(rec.traceId).commitTick = eq_.now();
@@ -208,6 +313,8 @@ Processor::issueMemOp(const Instruction &insn)
             write_buffer_.push_back({id, insn.addr, write_value,
                                      eq_.now()});
             stats_.inc(stat_.wbInserts);
+            if (sink_)
+                emitOpEvent(TraceKind::WbInsert, rec, id);
             drainWriteBuffer();
             return true;
         }
@@ -225,6 +332,17 @@ Processor::issueMemOp(const Instruction &insn)
                         a.gpTick = eq_.now();
                     }
                     stats_.inc(stat_.wbForwards);
+                    if (sink_) {
+                        TraceEvent ev;
+                        ev.tick = eq_.now();
+                        ev.comp = TraceComp::Proc;
+                        ev.kind = TraceKind::WbForward;
+                        ev.compId = id_;
+                        ev.proc = id_;
+                        ev.addr = insn.addr;
+                        ev.value = it->value;
+                        sink_->record(ev);
+                    }
                     return true;
                 }
             }
@@ -232,17 +350,23 @@ Processor::issueMemOp(const Instruction &insn)
         }
         if (isSync(kind) &&
             (!write_buffer_.empty() || wb_drain_in_flight_)) {
+            *why = StallReason::BufferFull;
             return false; // synchronization drains the buffer first
         }
     }
 
     // Ordinary issue.
-    if (addr_blocked_.count(insn.addr))
+    if (addr_blocked_.count(insn.addr)) {
+        *why = StallReason::SameAddr;
         return false; // same-address ordering (condition 1)
-    if (outstanding_ >= cfg_.maxOutstanding)
+    }
+    if (outstanding_ >= cfg_.maxOutstanding) {
+        *why = StallReason::BufferFull;
         return false;
+    }
     if (!policy_.mayIssue(kind, snapshot())) {
         stats_.inc(stat_.policyStalls);
+        *why = policy_.refusalReason(kind, snapshot());
         return false;
     }
 
@@ -251,6 +375,7 @@ Processor::issueMemOp(const Instruction &insn)
     rec.kind = kind;
     rec.addr = insn.addr;
     rec.destReg = readsMemory(kind) ? insn.dst : -1;
+    rec.issueTick = eq_.now();
     rec.traceId = recordTraceAccess(kind, insn.addr, write_value);
     ops_[id] = rec;
 
@@ -265,6 +390,8 @@ Processor::issueMemOp(const Instruction &insn)
         reg_busy_[rec.destReg] = true;
 
     stats_.inc(stat_.memOps);
+    if (sink_)
+        emitOpEvent(TraceKind::Issue, rec, id);
     CacheOp op;
     op.id = id;
     op.kind = kind;
@@ -330,6 +457,8 @@ Processor::opCommitted(std::uint64_t id, Word read_value)
         if (readsMemory(rec.kind))
             a.valueRead = read_value;
     }
+    if (sink_)
+        emitOpEvent(TraceKind::Commit, rec, id);
     if (rec.gp)
         ops_.erase(it);
     scheduleAdvance(0);
@@ -348,6 +477,10 @@ Processor::opGloballyPerformed(std::uint64_t id)
         --syncs_not_gp_;
     if (trace_ && rec.traceId >= 0)
         trace_->mutableAt(rec.traceId).gpTick = eq_.now();
+    if (sink_) {
+        emitOpEvent(TraceKind::GloballyPerformed, rec, id);
+        lat_gp_.record(eq_.now() - rec.issueTick);
+    }
     bool done = rec.committed;
     if (done)
         ops_.erase(it);

@@ -16,6 +16,7 @@
 #ifndef WO_CPU_PROCESSOR_HH
 #define WO_CPU_PROCESSOR_HH
 
+#include <array>
 #include <deque>
 #include <map>
 #include <set>
@@ -25,10 +26,14 @@
 #include "core/trace.hh"
 #include "cpu/mem_port.hh"
 #include "cpu/program.hh"
+#include "obs/latency_histogram.hh"
+#include "obs/trace_event.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
 namespace wo {
+
+class TraceSink;
 
 /** Processor configuration. */
 struct ProcessorConfig
@@ -73,6 +78,32 @@ class Processor : public CacheClient
     /** Cycles this processor spent unable to dispatch. */
     Tick stallCycles() const { return stall_cycles_; }
 
+    /** Stalled cycles attributed to @p r. The per-reason cycles always
+     * sum to stallCycles(): each stall segment is closed into exactly
+     * one reason bucket when dispatch resumes (or the reason changes). */
+    Tick
+    stallCyclesFor(StallReason r) const
+    {
+        return stall_by_reason_[static_cast<std::size_t>(r)];
+    }
+
+    /**
+     * Attach a structured trace sink (nullptr detaches). Enables event
+     * emission, the issue->globally-performed latency histogram and the
+     * per-reason stall stats flushed by finalizeObs(). With no sink
+     * attached the only cost per potential event is this null test.
+     */
+    void setTraceSink(TraceSink *sink) { sink_ = sink; }
+
+    /** Export observability stats (stall attribution) into the StatSet.
+     * Called at end of run; a no-op when no sink is attached, so
+     * tracing-off stat output is unchanged. */
+    void finalizeObs();
+
+    /** The issue->globally-performed latency histogram (samples only
+     * accumulate while a trace sink is attached). */
+    const LatencyHistogram &issueGpHistogram() const { return lat_gp_; }
+
     /** Dynamic instructions retired. */
     std::uint64_t instructions() const { return instructions_; }
 
@@ -95,6 +126,7 @@ class Processor : public CacheClient
         bool committed = false;
         bool gp = false;
         bool fromWriteBuffer = false;
+        Tick issueTick = 0;
     };
 
     struct WbEntry
@@ -107,10 +139,13 @@ class Processor : public CacheClient
 
     void scheduleAdvance(Tick delay);
     void tryAdvance();
-    bool issueMemOp(const Instruction &insn);
+    bool issueMemOp(const Instruction &insn, StallReason *why);
     void drainWriteBuffer();
-    void noteStall();
+    void noteStall(StallReason why);
     void noteProgress();
+    void closeStallSegment(Tick now);
+    void emitOpEvent(TraceKind kind, const OpRecord &rec,
+                     std::uint64_t id);
     ProcState snapshot() const;
     bool regBusy(int r) const { return r >= 0 && reg_busy_[r]; }
     std::uint64_t nextId() { return ++last_id_; }
@@ -159,6 +194,12 @@ class Processor : public CacheClient
     Tick stall_since_ = kNoTick;
     Tick stall_cycles_ = 0;
     std::uint64_t instructions_ = 0;
+
+    /** Structured tracing (null = disabled path). */
+    TraceSink *sink_ = nullptr;
+    StallReason stall_reason_ = StallReason::CounterNonzero;
+    std::array<Tick, kNumStallReasons> stall_by_reason_{};
+    LatencyHistogram lat_gp_;
 };
 
 } // namespace wo

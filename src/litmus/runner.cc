@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -9,6 +10,8 @@
 #include "core/drf0_checker.hh"
 #include "core/sc_verifier.hh"
 #include "litmus/expect.hh"
+#include "obs/trace_export.hh"
+#include "obs/trace_sink.hh"
 #include "workload/campaign.hh"
 
 namespace wo {
@@ -77,6 +80,32 @@ jsonEscape(const std::string &s)
         }
     }
     return out;
+}
+
+/** Keep file names portable: anything exotic becomes '_'. */
+std::string
+sanitizeForFile(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                  c == '.';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+/** Deterministic per-job trace file name (independent of threading). */
+std::string
+traceFileName(const std::string &stem, const std::string &test,
+              PolicyKind policy, const std::string &variant, int seed_idx)
+{
+    return stem + "." + sanitizeForFile(test) + "." +
+           sanitizeForFile(toString(policy)) + "." +
+           sanitizeForFile(variant) + ".s" + std::to_string(seed_idx) +
+           ".json";
 }
 
 } // namespace
@@ -165,6 +194,9 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
                 JobOut out;
                 SystemConfig cfg =
                     plan.machine->config(plan.policy, job.seed);
+                TraceBuffer trace_buf(options.traceMask);
+                if (!options.tracePath.empty())
+                    cfg.traceSink = &trace_buf;
                 try {
                     System sys(test.program, cfg);
                     out.ran = true;
@@ -195,6 +227,12 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
                     out.stats = sys.stats();
                 } catch (const std::invalid_argument &) {
                     out.ran = false; // illegal config for this policy
+                }
+                if (out.ran && !options.tracePath.empty()) {
+                    std::ofstream tf(traceFileName(
+                        options.tracePath, test.name, plan.policy,
+                        plan.machine->name, job.index % per_cell));
+                    writeChromeTrace(tf, trace_buf.events());
                 }
                 return out;
             });

@@ -35,6 +35,7 @@
 
 #include "consistency/policy.hh"
 #include "litmus/compiler.hh"
+#include "obs/trace_event.hh"
 #include "sim/stats.hh"
 #include "system/machine_spec.hh"
 #include "system/system.hh"
@@ -69,6 +70,19 @@ struct RunnerOptions
      * runner) are checked once. Verdicts are unchanged — the memo
      * returns the identical report. */
     bool drf0Memo = true;
+
+    /**
+     * Structured-trace output stem; empty disables tracing (the
+     * default, with zero effect on reports). When set, every job runs
+     * with a private TraceBuffer and writes a Chrome-trace JSON file
+     * named <stem>.<test>.<policy>.<variant>.s<seed-index>.json — one
+     * file per job, so reports and trace files stay byte-identical for
+     * any --threads value.
+     */
+    std::string tracePath;
+
+    /** Component filter for trace events (see parseTraceFilter). */
+    std::uint32_t traceMask = kAllTraceComps;
 
     std::vector<PolicyKind> policies = {
         PolicyKind::Sc,

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/trace_sink.hh"
+
 namespace wo {
 
 bool
@@ -67,6 +69,22 @@ Interconnect::deliverAt(Tick when, Msg msg)
     ++sent_;
     stats_.inc(stat_msgs_);
     stats_.inc(stat_latency_total_, when - eq_.now());
+    if (sink_) {
+        TraceEvent ev;
+        ev.tick = eq_.now();
+        ev.comp = TraceComp::Net;
+        ev.kind = TraceKind::MsgSend;
+        ev.compId = 0;
+        ev.src = msg.src;
+        ev.dst = msg.dst;
+        ev.addr = msg.addr;
+        ev.value = msg.value;
+        ev.opId = msg.reqId;
+        ev.aux = static_cast<std::int64_t>(when - eq_.now());
+        ev.text = toString(msg.type);
+        sink_->record(ev);
+        lat_msg_.record(when - eq_.now());
+    }
     eq_.scheduleAt(when, [this, msg = std::move(msg)] {
         auto it = handlers_.find(msg.dst);
         assert(it != handlers_.end() && "message to unattached node");

@@ -23,12 +23,15 @@
 #include <vector>
 
 #include "mem/message.hh"
+#include "obs/latency_histogram.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace wo {
+
+class TraceSink;
 
 /** Abstract interconnect: nodes attach handlers and send messages. */
 class Interconnect
@@ -37,7 +40,8 @@ class Interconnect
     using Handler = std::function<void(const Msg &)>;
 
     Interconnect(EventQueue &eq, StatSet &stats, std::string name)
-        : eq_(eq), stats_(stats), name_(std::move(name))
+        : eq_(eq), stats_(stats), name_(std::move(name)),
+          lat_msg_(stats, name_ + ".lat_msg")
     {
         stat_msgs_ = stats_.handle(name_ + ".msgs");
         stat_latency_total_ = stats_.handle(name_ + ".latency_total");
@@ -54,6 +58,15 @@ class Interconnect
     /** Messages injected so far. */
     std::uint64_t sent() const { return sent_; }
 
+    /** Attach a structured trace sink (nullptr detaches). Emits one
+     * MsgSend event per delivery and feeds the message-latency
+     * histogram; with no sink the per-message cost is one null test. */
+    void setTraceSink(TraceSink *sink) { sink_ = sink; }
+
+    /** Per-message network latency histogram (samples only accumulate
+     * while a trace sink is attached). */
+    const LatencyHistogram &msgLatencyHistogram() const { return lat_msg_; }
+
   protected:
     /** Deliver at absolute time @p when (keeps stats). */
     void deliverAt(Tick when, Msg msg);
@@ -66,6 +79,10 @@ class Interconnect
     StatHandle stat_latency_total_;
     std::map<NodeId, Handler> handlers_;
     std::uint64_t sent_ = 0;
+
+    /** Structured tracing (null = disabled path). */
+    TraceSink *sink_ = nullptr;
+    LatencyHistogram lat_msg_;
 };
 
 /**

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace_sink.hh"
+
 namespace wo {
 
 MemoryModule::MemoryModule(EventQueue &eq, Interconnect &net, StatSet &stats,
@@ -27,6 +29,21 @@ MemoryModule::handle(const Msg &msg)
     Tick done = start + cfg_.serviceLatency;
     free_at_ = done;
     stats_.inc(stat_requests_);
+    if (sink_) {
+        TraceEvent ev;
+        ev.tick = eq_.now();
+        ev.comp = TraceComp::Mem;
+        ev.kind = TraceKind::MemService;
+        ev.compId = node_;
+        ev.src = msg.src;
+        ev.dst = node_;
+        ev.addr = msg.addr;
+        ev.value = msg.value;
+        ev.opId = msg.reqId;
+        ev.aux = static_cast<std::int64_t>(done - eq_.now());
+        ev.text = toString(msg.type);
+        sink_->record(ev);
+    }
 
     Msg req = msg;
     eq_.scheduleAt(done, [this, req] {

@@ -19,6 +19,8 @@
 
 namespace wo {
 
+class TraceSink;
+
 /** One address-interleaved memory module on an interconnect. */
 class MemoryModule
 {
@@ -40,6 +42,10 @@ class MemoryModule
     /** Directly read backing-store contents (final state inspection). */
     Word peek(Addr addr) const;
 
+    /** Attach a structured trace sink (nullptr detaches). Emits one
+     * MemService event per request. */
+    void setTraceSink(TraceSink *sink) { sink_ = sink; }
+
   private:
     EventQueue &eq_;
     Interconnect &net_;
@@ -49,6 +55,9 @@ class MemoryModule
     StatHandle stat_requests_; ///< interned "mem.requests"
     std::map<Addr, Word> store_;
     Tick free_at_ = 0;
+
+    /** Structured tracing (null = disabled path). */
+    TraceSink *sink_ = nullptr;
 };
 
 } // namespace wo

@@ -2,15 +2,34 @@
 
 #include <cassert>
 
+#include "obs/trace_sink.hh"
+
 namespace wo {
 
-UncachedPort::UncachedPort(Interconnect &net, StatSet &stats, NodeId node,
-                           NodeId mem_base, int num_mods, std::string name)
-    : net_(net), stats_(stats), node_(node), mem_base_(mem_base),
+UncachedPort::UncachedPort(EventQueue &eq, Interconnect &net, StatSet &stats,
+                           NodeId node, NodeId mem_base, int num_mods,
+                           std::string name)
+    : eq_(eq), net_(net), stats_(stats), node_(node), mem_base_(mem_base),
       num_mods_(num_mods), name_(std::move(name))
 {
     stat_requests_ = stats_.handle(name_ + ".requests");
     net_.attach(node_, [this](const Msg &m) { handle(m); });
+}
+
+void
+UncachedPort::emitEvent(TraceKind kind, const CacheOp &op, NodeId peer)
+{
+    TraceEvent ev;
+    ev.tick = eq_.now();
+    ev.comp = TraceComp::Port;
+    ev.kind = kind;
+    ev.compId = node_;
+    ev.proc = node_;
+    ev.src = kind == TraceKind::PortRequest ? node_ : peer;
+    ev.dst = kind == TraceKind::PortRequest ? peer : node_;
+    ev.addr = op.addr;
+    ev.opId = op.id;
+    sink_->record(ev);
 }
 
 void
@@ -39,6 +58,8 @@ UncachedPort::request(const CacheOp &op)
     }
     pending_[op.id] = Pending{op};
     stats_.inc(stat_requests_);
+    if (sink_)
+        emitEvent(TraceKind::PortRequest, op, m.dst);
     net_.send(m);
 }
 
@@ -62,6 +83,8 @@ UncachedPort::handle(const Msg &msg)
       default:
         assert(false && "unexpected response at uncached port");
     }
+    if (sink_)
+        emitEvent(TraceKind::PortResponse, op, msg.src);
     client_->opCommitted(op.id, read_value);
     client_->opGloballyPerformed(op.id);
 }

@@ -15,9 +15,13 @@
 
 #include "cpu/mem_port.hh"
 #include "mem/interconnect.hh"
+#include "obs/trace_event.hh"
+#include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
 namespace wo {
+
+class TraceSink;
 
 /** Processor-side port that talks directly to memory modules. */
 class UncachedPort : public MemPort
@@ -28,8 +32,9 @@ class UncachedPort : public MemPort
      * @param mem_base  node id of memory module 0
      * @param num_mods  number of modules (addr mod num_mods)
      */
-    UncachedPort(Interconnect &net, StatSet &stats, NodeId node,
-                 NodeId mem_base, int num_mods, std::string name);
+    UncachedPort(EventQueue &eq, Interconnect &net, StatSet &stats,
+                 NodeId node, NodeId mem_base, int num_mods,
+                 std::string name);
 
     void setPortClient(CacheClient *c) override { client_ = c; }
 
@@ -38,12 +43,20 @@ class UncachedPort : public MemPort
     /** Incoming response handler. */
     void handle(const Msg &msg);
 
+    /** Attach a structured trace sink (nullptr detaches). Emits one
+     * PortRequest per access and one PortResponse per reply. */
+    void setTraceSink(TraceSink *sink) { sink_ = sink; }
+
   private:
     struct Pending
     {
         CacheOp op;
     };
 
+    /** Emit one structured trace event (sink_ must be non-null). */
+    void emitEvent(TraceKind kind, const CacheOp &op, NodeId peer);
+
+    EventQueue &eq_;
     Interconnect &net_;
     StatSet &stats_;
     NodeId node_;
@@ -53,6 +66,9 @@ class UncachedPort : public MemPort
     StatHandle stat_requests_; ///< interned name_ + ".requests"
     CacheClient *client_ = nullptr;
     std::map<std::uint64_t, Pending> pending_;
+
+    /** Structured tracing (null = disabled path). */
+    TraceSink *sink_ = nullptr;
 };
 
 } // namespace wo

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Trace exporters: Chrome Trace Event Format JSON (loadable in
+ * chrome://tracing and Perfetto) and a compact aligned-text timeline.
+ *
+ * The Chrome mapping:
+ *  - each (component, id) pair becomes one "thread" (proc0, cache1,
+ *    dir0, net, ...), labelled with thread_name metadata;
+ *  - processor stalls are duration slices ("B"/"E") named after the
+ *    stall reason;
+ *  - the issue -> globally-performed life of each memory op is an async
+ *    span ("b"/"e", id "p<proc>.<op>") named after the access kind;
+ *  - reserve-bit set/clear on a cache line is an async span per line;
+ *  - the outstanding-access counter is a Chrome counter track ("C");
+ *  - everything else is a thread-scoped instant ("i").
+ *
+ * Output is deterministic: it depends only on the recorded event
+ * sequence, which is deterministic for a fixed seed.
+ */
+
+#ifndef WO_OBS_TRACE_EXPORT_HH
+#define WO_OBS_TRACE_EXPORT_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace_event.hh"
+
+namespace wo {
+
+/** Write @p events as a complete Chrome Trace Event Format document. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events);
+
+/** Write @p events as an aligned text timeline (one line per event). */
+void renderTraceText(std::ostream &os,
+                     const std::vector<TraceEvent> &events);
+
+} // namespace wo
+
+#endif // WO_OBS_TRACE_EXPORT_HH

@@ -1,0 +1,50 @@
+#include "obs/trace_sink.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace wo {
+
+std::string
+renderTraceLine(const TraceEvent &ev)
+{
+    std::ostringstream oss;
+    // Log lines keep the historical "tick [who] message" shape (the
+    // `[who]` prefix is already folded into text by Log::emit).
+    if (ev.kind == TraceKind::LogMessage) {
+        oss << ev.tick << " " << ev.text;
+        return oss.str();
+    }
+    oss << ev.tick << " [" << toString(ev.comp);
+    if (ev.compId >= 0)
+        oss << ev.compId;
+    oss << "] " << toString(ev.kind);
+    if (ev.proc != kNoProc && ev.comp != TraceComp::Proc)
+        oss << " proc=" << ev.proc;
+    if (ev.opId)
+        oss << " op=" << ev.opId;
+    if (ev.addr != kNoTraceAddr)
+        oss << " addr=" << ev.addr;
+    if (ev.src >= 0 || ev.dst >= 0)
+        oss << " " << ev.src << "->" << ev.dst;
+    if (ev.aux)
+        oss << " aux=" << ev.aux;
+    if (ev.detail)
+        oss << " " << ev.detail;
+    if (!ev.text.empty())
+        oss << " " << ev.text;
+    return oss.str();
+}
+
+void
+TextTraceSink::record(const TraceEvent &ev)
+{
+    if (!(mask_ & traceCompBit(ev.comp)))
+        return;
+    std::string line = renderTraceLine(ev);
+    line += '\n';
+    std::lock_guard<std::mutex> lock(mu_);
+    os_ << line;
+}
+
+} // namespace wo

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace sinks: where structured TraceEvents go when tracing is on.
+ *
+ *  - TraceBuffer collects events in memory (with a component filter) for
+ *    later export — the sink wo-litmus/wo-trace attach per run. One
+ *    buffer belongs to one System; campaign jobs each own a private
+ *    buffer, so worker threads never share a sink.
+ *  - TextTraceSink renders each event as one line and writes it under a
+ *    mutex — the thread-safe stream sink Log::emit routes through.
+ */
+
+#ifndef WO_OBS_TRACE_SINK_HH
+#define WO_OBS_TRACE_SINK_HH
+
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace_event.hh"
+
+namespace wo {
+
+/** Abstract destination for trace events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Consume one event. Called only on the enabled path. */
+    virtual void record(const TraceEvent &ev) = 0;
+};
+
+/** In-memory event collector with a component filter mask. */
+class TraceBuffer : public TraceSink
+{
+  public:
+    explicit TraceBuffer(std::uint32_t comp_mask = kAllTraceComps)
+        : mask_(comp_mask)
+    {}
+
+    void
+    record(const TraceEvent &ev) override
+    {
+        if (mask_ & traceCompBit(ev.comp))
+            events_.push_back(ev);
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    std::uint32_t mask() const { return mask_; }
+
+    void clear() { events_.clear(); }
+
+  private:
+    std::uint32_t mask_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * Line-oriented stream sink. Each event is formatted into one string and
+ * written with a single locked stream insertion, so concurrent emitters
+ * (campaign worker threads sharing a Log redirect) never tear or
+ * interleave mid-line.
+ */
+class TextTraceSink : public TraceSink
+{
+  public:
+    explicit TextTraceSink(std::ostream &os,
+                           std::uint32_t comp_mask = kAllTraceComps)
+        : os_(os), mask_(comp_mask)
+    {}
+
+    void record(const TraceEvent &ev) override;
+
+  private:
+    std::mutex mu_;
+    std::ostream &os_;
+    std::uint32_t mask_;
+};
+
+/** Render one event as the single text line TextTraceSink writes. */
+std::string renderTraceLine(const TraceEvent &ev);
+
+} // namespace wo
+
+#endif // WO_OBS_TRACE_SINK_HH

@@ -1,32 +1,58 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <iostream>
+
+#include "obs/trace_sink.hh"
 
 namespace wo {
 
 namespace {
-LogLevel g_level = LogLevel::None;
+
+std::atomic<LogLevel> g_level{LogLevel::None};
+std::atomic<TraceSink *> g_sink{nullptr};
+
+/** Default destination: one mutex-guarded line at a time to stderr. */
+TextTraceSink &
+stderrSink()
+{
+    static TextTraceSink sink(std::cerr);
+    return sink;
+}
+
 } // namespace
 
 void
 Log::setLevel(LogLevel lvl)
 {
-    g_level = lvl;
+    g_level.store(lvl, std::memory_order_relaxed);
 }
 
 LogLevel
 Log::level()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+Log::redirect(TraceSink *sink)
+{
+    g_sink.store(sink, std::memory_order_release);
 }
 
 void
 Log::emit(LogLevel lvl, Tick tick, const std::string &who,
           const std::string &msg)
 {
-    if (g_level < lvl)
+    if (level() < lvl)
         return;
-    std::cerr << tick << " [" << who << "] " << msg << '\n';
+    TraceEvent ev;
+    ev.tick = tick;
+    ev.comp = TraceComp::Log;
+    ev.kind = TraceKind::LogMessage;
+    ev.text = "[" + who + "] " + msg;
+    TraceSink *sink = g_sink.load(std::memory_order_acquire);
+    (sink ? *sink : static_cast<TraceSink &>(stderrSink())).record(ev);
 }
 
 } // namespace wo

@@ -4,6 +4,12 @@
  *
  * Logging is off by default so test and benchmark runs stay quiet; enable
  * with Log::setLevel() when debugging a protocol trace.
+ *
+ * The global level is atomic and every emitted line travels through a
+ * TraceSink (a mutex-guarded stderr sink by default), so concurrent
+ * Campaign worker threads neither tear the level nor interleave
+ * mid-line. Log::redirect() points the output at any other sink — e.g.
+ * a TraceBuffer, folding free-form log lines into a structured trace.
  */
 
 #ifndef WO_SIM_LOGGING_HH
@@ -16,6 +22,8 @@
 
 namespace wo {
 
+class TraceSink;
+
 /** Severity levels for simulator tracing. */
 enum class LogLevel { None = 0, Warn = 1, Info = 2, Trace = 3 };
 
@@ -23,7 +31,7 @@ enum class LogLevel { None = 0, Warn = 1, Info = 2, Trace = 3 };
 class Log
 {
   public:
-    /** Set the global verbosity. */
+    /** Set the global verbosity (atomic; safe from any thread). */
     static void setLevel(LogLevel lvl);
 
     /** Current verbosity. */
@@ -35,18 +43,35 @@ class Log
     /** Emit one line, prefixed with the component name and tick. */
     static void emit(LogLevel lvl, Tick tick, const std::string &who,
                      const std::string &msg);
+
+    /**
+     * Route emitted lines into @p sink as TraceComp::Log events
+     * (nullptr restores the default locked-stderr sink). The sink must
+     * outlive the redirection; the caller owns it.
+     */
+    static void redirect(TraceSink *sink);
 };
 
-/** Convenience macro: only evaluates the message when tracing is on. */
-#define WO_TRACE(eq, who, expr)                                             \
+/**
+ * Convenience macros. The level test guards everything: the message
+ * expression, the tick argument and the emit call are only evaluated
+ * when tracing is enabled, so a disabled trace point costs one atomic
+ * load and a branch.
+ *
+ * WO_TRACE_AT takes the tick directly, for components that carry a tick
+ * but no EventQueue reference.
+ */
+#define WO_TRACE_AT(tick, who, expr)                                        \
     do {                                                                    \
         if (::wo::Log::enabled(::wo::LogLevel::Trace)) {                    \
             std::ostringstream oss_;                                        \
             oss_ << expr;                                                   \
-            ::wo::Log::emit(::wo::LogLevel::Trace, (eq).now(), (who),       \
+            ::wo::Log::emit(::wo::LogLevel::Trace, (tick), (who),           \
                             oss_.str());                                    \
         }                                                                   \
     } while (0)
+
+#define WO_TRACE(eq, who, expr) WO_TRACE_AT((eq).now(), who, expr)
 
 } // namespace wo
 

@@ -70,7 +70,7 @@ System::System(const MultiProgram &program, const SystemConfig &cfg)
         }
         for (ProcId p = 0; p < nprocs; ++p) {
             uncached_ports_.push_back(std::make_unique<UncachedPort>(
-                *net_, stats_, p, nprocs, cfg_.numMemModules,
+                eq_, *net_, stats_, p, nprocs, cfg_.numMemModules,
                 "port" + std::to_string(p)));
         }
         for (Addr a : addrs)
@@ -86,6 +86,20 @@ System::System(const MultiProgram &program, const SystemConfig &cfg)
         procs_.push_back(std::make_unique<Processor>(
             eq_, stats_, p, program_.program(p), port, *policy_, &trace_,
             pcfg));
+    }
+
+    if (cfg_.traceSink) {
+        net_->setTraceSink(cfg_.traceSink);
+        for (auto &c : caches_)
+            c->setTraceSink(cfg_.traceSink);
+        for (auto &d : dirs_)
+            d->setTraceSink(cfg_.traceSink);
+        for (auto &m : mems_)
+            m->setTraceSink(cfg_.traceSink);
+        for (auto &u : uncached_ports_)
+            u->setTraceSink(cfg_.traceSink);
+        for (auto &p : procs_)
+            p->setTraceSink(cfg_.traceSink);
     }
 }
 
@@ -104,6 +118,8 @@ System::run()
         if (!d->idle())
             ok = false;
     }
+    for (auto &p : procs_)
+        p->finalizeObs();
     stats_.set("system.finish_tick", finishTick());
     stats_.set("system.completed", ok ? 1 : 0);
     return ok;

@@ -30,6 +30,8 @@
 
 namespace wo {
 
+class TraceSink;
+
 /** Which interconnect family to build. */
 enum class InterconnectKind { Bus, Network };
 
@@ -59,6 +61,11 @@ struct SystemConfig
     /** Pre-load every touched location Shared into every cache (a warm
      * steady state; directory sharer lists are set to match). */
     bool warmCaches = false;
+
+    /** Structured trace sink wired into every component (non-owning;
+     * must outlive the System). Null = tracing disabled: no events, no
+     * extra stats, byte-identical reports. */
+    TraceSink *traceSink = nullptr;
 };
 
 /** A complete simulated multiprocessor running one workload. */
@@ -99,6 +106,10 @@ class System
 
     /** The event queue (advanced diagnostics / tests). */
     EventQueue &eventQueue() { return eq_; }
+
+    /** The interconnect (message-latency histogram access). */
+    Interconnect &interconnect() { return *net_; }
+    const Interconnect &interconnect() const { return *net_; }
 
     /** Human-readable configuration summary. */
     std::string description() const;

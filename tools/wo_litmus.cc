@@ -25,10 +25,21 @@
  *                    exists for timing comparisons and debugging)
  *   --no-histograms  omit outcome histograms from the text report
  *   --list           parse + compile only; list tests and exit
+ *   --trace=STEM     write one Chrome-trace JSON per run, named
+ *                    STEM.<test>.<policy>.<machine>.s<seed>.json
+ *                    (env fallback: WO_TRACE_FILE)
+ *   --trace-filter=LIST  comma list of components to trace: proc,cache,
+ *                    dir,net,mem,port,log or "all"
+ *                    (env fallback: WO_TRACE_FILTER)
+ *
+ * Tracing never changes the text/JSON reports: each job records into a
+ * private buffer and writes its own file, keeping the run byte-identical
+ * to an untraced one for any --threads value.
  *
  * Exit status: 0 all tests pass, 1 failures, 2 bad usage or parse error.
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -53,6 +64,7 @@ usage(std::ostream &os)
           "                 [--json[=FILE]] [--no-verify] "
           "[--no-drf0-memo]\n"
           "                 [--no-histograms] [--list]\n"
+          "                 [--trace=STEM] [--trace-filter=LIST]\n"
           "                 <file-or-dir>...\n";
     return 2;
 }
@@ -96,6 +108,20 @@ main(int argc, char **argv)
     std::vector<std::string> paths;
     std::vector<const MachineSpec *> machines = defaultMachines();
 
+    // Environment plumbing (flags override): lets campaign wrappers
+    // enable tracing without threading new options through.
+    if (const char *env = std::getenv("WO_TRACE_FILE"))
+        options.tracePath = env;
+    if (const char *env = std::getenv("WO_TRACE_FILTER")) {
+        try {
+            options.traceMask = parseTraceFilter(env);
+        } catch (const std::exception &e) {
+            std::cerr << "wo-litmus: WO_TRACE_FILTER: " << e.what()
+                      << "\n";
+            return 2;
+        }
+    }
+
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--seeds=", 0) == 0) {
@@ -133,6 +159,19 @@ main(int argc, char **argv)
             histograms = false;
         } else if (arg == "--list") {
             list_only = true;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            options.tracePath = arg.substr(8);
+            if (options.tracePath.empty()) {
+                std::cerr << "wo-litmus: empty --trace stem\n";
+                return 2;
+            }
+        } else if (arg.rfind("--trace-filter=", 0) == 0) {
+            try {
+                options.traceMask = parseTraceFilter(arg.substr(15));
+            } catch (const std::exception &e) {
+                std::cerr << "wo-litmus: " << e.what() << "\n";
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage(std::cout);
             return 0;
