@@ -10,11 +10,13 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "sim/stats.hh"
 #include "system/machine_spec.hh"
 #include "workload/campaign.hh"
 
@@ -28,14 +30,21 @@ struct BenchOptions
 
     /** Machines selected with --machines=<list>; empty = bench default. */
     std::vector<const MachineSpec *> machines;
+
+    /** --quick: shrink sweeps/repetitions for CI smoke runs. */
+    bool quick = false;
+
+    /** --json=FILE: where to dump the bench StatSet; empty = no dump
+     * (benches with a committed BENCH_*.json default it themselves). */
+    std::string jsonFile;
 };
 
 /**
  * Strip the flags every bench understands (--threads=N / --threads N,
- * honouring WO_THREADS, --seed=S / --seed S, and --machines=LIST of
- * machine-registry names) from argv before it is handed to
- * google-benchmark, which rejects flags it does not know. Exits with
- * status 2 on an unknown machine name.
+ * honouring WO_THREADS, --seed=S / --seed S, --machines=LIST of
+ * machine-registry names, --quick, and --json=FILE) from argv before it
+ * is handed to google-benchmark, which rejects flags it does not know.
+ * Exits with status 2 on an unknown machine name.
  */
 inline BenchOptions
 consumeBenchFlags(int &argc, char **argv)
@@ -53,12 +62,31 @@ consumeBenchFlags(int &argc, char **argv)
                 std::cerr << argv[0] << ": " << e.what() << "\n";
                 std::exit(2);
             }
+        } else if (arg == "--quick") {
+            opts.quick = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opts.jsonFile = arg.substr(7);
         } else {
             argv[out++] = argv[i];
         }
     }
     argc = out;
     return opts;
+}
+
+/** Dump @p stats as JSON to @p file; complains but does not abort on
+ * I/O failure (a bench's tables already printed). */
+inline void
+dumpJsonFile(const StatSet &stats, const std::string &file)
+{
+    std::ofstream out(file);
+    if (!out) {
+        std::cerr << "cannot write " << file << "\n";
+        return;
+    }
+    stats.dumpJson(out);
+    out << "\n";
+    std::cout << "\njson written to " << file << "\n";
 }
 
 /**

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <string>
 
 #include "bench_util.hh"
@@ -25,6 +26,13 @@ namespace {
 using namespace wo;
 
 wo::benchutil::BenchOptions g_opts; // resolved in main() from --threads/--seed
+
+/** One campaign (and its worker threads) for the whole table sweep, so
+ * the workers' SystemPools persist across avgTicks() calls. Jobs derive
+ * everything from the job index, so the hoist is output-neutral. */
+Campaign *g_campaign = nullptr;
+
+std::uint64_t g_jobs = 0; ///< campaign jobs run by the table sweeps
 
 RandomWorkloadConfig
 workloadCfg(int sections, int ops, std::uint64_t seed)
@@ -52,8 +60,8 @@ avgTicks(const MachineSpec &m, PolicyKind pk, int sections, int ops,
         std::uint64_t ticks = 0;
         int completed = 0;
     };
-    Campaign campaign({g_opts.threads, g_opts.baseSeed});
-    Run sum = campaign.reduce<Run, Run>(
+    g_jobs += static_cast<std::uint64_t>(runs);
+    Run sum = g_campaign->reduce<Run, Run>(
         runs,
         [&](const CampaignJob &jb) {
             int s = jb.index + 1;
@@ -63,7 +71,11 @@ avgTicks(const MachineSpec &m, PolicyKind pk, int sections, int ops,
             cfg.net.base = net_base;
             cfg.net.jitter = net_base;
             cfg.maxTicks = 50000000;
-            System sys(mp, cfg);
+            // Pooled: the worker's cached System for this cell is
+            // reset instead of rebuilt (identical replay; net.base
+            // changes between sweep points force one rebuild each).
+            System &sys = workerSystemPool().acquire(
+                m.name + "/" + toString(pk), mp, cfg);
             Run one;
             if (!sys.run())
                 return one;
@@ -82,10 +94,15 @@ void
 printThroughputTables(const MachineSpec &m, bool named)
 {
     const std::string suffix = named ? " [machine=" + m.name + "]" : "";
-    const int runs = 12;
+    const int runs = g_opts.quick ? 4 : 12;
     const std::vector<PolicyKind> policies = {
         PolicyKind::Sc, PolicyKind::Def1, PolicyKind::Def2Drf0,
         PolicyKind::Def2Drf1};
+    const std::vector<int> section_points =
+        g_opts.quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+    const std::vector<Tick> latency_points =
+        g_opts.quick ? std::vector<Tick>{6, 24}
+                     : std::vector<Tick>{2, 6, 12, 24, 48};
 
     benchutil::banner(
         "Execution time vs synchronization frequency (net latency 6, " +
@@ -94,7 +111,7 @@ printThroughputTables(const MachineSpec &m, bool named)
     {
         benchutil::Table t({"critical sections/proc", "SC", "WO-Def1",
                             "WO-Def2-DRF0", "WO-Def2-DRF1"});
-        for (int sections : {1, 2, 4, 8}) {
+        for (int sections : section_points) {
             std::vector<std::string> row = {std::to_string(sections)};
             for (PolicyKind pk : policies)
                 row.push_back(std::to_string(
@@ -110,7 +127,7 @@ printThroughputTables(const MachineSpec &m, bool named)
     {
         benchutil::Table t({"net base latency", "SC", "WO-Def1",
                             "WO-Def2-DRF0", "WO-Def2-DRF1"});
-        for (Tick lat : {Tick{2}, Tick{6}, Tick{12}, Tick{24}, Tick{48}}) {
+        for (Tick lat : latency_points) {
             std::vector<std::string> row = {std::to_string(lat)};
             for (PolicyKind pk : policies)
                 row.push_back(std::to_string(
@@ -158,9 +175,27 @@ int
 main(int argc, char **argv)
 {
     g_opts = wo::benchutil::consumeBenchFlags(argc, argv);
+    wo::Campaign campaign({g_opts.threads, g_opts.baseSeed});
+    g_campaign = &campaign;
+    auto t0 = std::chrono::steady_clock::now();
     for (const wo::MachineSpec *m :
          wo::benchutil::machinesOr(g_opts, "net-cold"))
         printThroughputTables(*m, !g_opts.machines.empty());
+    auto t1 = std::chrono::steady_clock::now();
+    std::uint64_t wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    if (!g_opts.jsonFile.empty()) {
+        wo::StatSet stats;
+        stats.set("quick", g_opts.quick ? 1 : 0);
+        stats.set("threads",
+                  static_cast<std::uint64_t>(campaign.numThreads()));
+        stats.set("tables.jobs", g_jobs);
+        stats.set("tables.wall_ns", wall_ns);
+        stats.set("tables.jobs_per_sec",
+                  wall_ns ? g_jobs * 1000000000ull / wall_ns : 0);
+        wo::benchutil::dumpJsonFile(stats, g_opts.jsonFile);
+    }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

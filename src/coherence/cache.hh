@@ -135,6 +135,27 @@ class Cache : public MemPort
     /** Incoming message handler (attached to the interconnect). */
     void handle(const Msg &msg);
 
+    /**
+     * Restore construction-time state for reuse: every line, MSHR,
+     * stalled queue and the outstanding-access counter are dropped.
+     * The client and interconnect attachment persist. Must only be
+     * called between runs (no messages in flight).
+     */
+    void
+    reset()
+    {
+        lines_.clear();
+        mshrs_.clear();
+        inflight_fills_.clear();
+        stalled_recalls_.clear();
+        stalled_ops_.clear();
+        outstanding_miss_seqs_.clear();
+        next_miss_seq_ = 0;
+        counter_ = 0;
+        reserved_count_ = 0;
+        misses_while_reserved_ = 0;
+    }
+
     /** Attach a structured trace sink (nullptr detaches). Emits
      * hit/miss, counter, reserve-bit, invalidation and recall events;
      * the disabled path costs one null test per potential event. */

@@ -81,6 +81,10 @@ class Directory
     /** Incoming message handler. */
     void handle(const Msg &msg);
 
+    /** Drop every line (state and backing store) for reuse. Must only
+     * be called between runs (no open transactions). */
+    void reset() { lines_.clear(); }
+
     /** Attach a structured trace sink (nullptr detaches). Emits
      * invalidate-sent, recall-sent and write-ack-sent events. */
     void setTraceSink(TraceSink *sink) { sink_ = sink; }

@@ -61,6 +61,15 @@ ExecutionTrace::popLast()
         byProc_.pop_back();
 }
 
+void
+ExecutionTrace::clear()
+{
+    accesses_.clear();
+    initials_.clear();
+    byProc_.clear();
+    syncs_.clear();
+}
+
 const std::vector<int> &
 ExecutionTrace::accessesOf(ProcId proc) const
 {

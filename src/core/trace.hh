@@ -56,6 +56,10 @@ class ExecutionTrace
     /** Remove the most recently added access (backtracking support). */
     void popLast();
 
+    /** Drop every access, index and initial value, keeping allocated
+     * capacity where the containers allow (System reuse). */
+    void clear();
+
     /** Number of processors appearing in the trace. */
     int numProcs() const { return static_cast<int>(byProc_.size()); }
 

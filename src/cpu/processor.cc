@@ -29,7 +29,7 @@ Processor::Processor(EventQueue &eq, StatSet &stats, ProcId id,
                      const Program &program, MemPort &port,
                      const ConsistencyPolicy &policy, ExecutionTrace *trace,
                      const ProcessorConfig &cfg)
-    : eq_(eq), stats_(stats), id_(id), program_(program), port_(port),
+    : eq_(eq), stats_(stats), id_(id), program_(&program), port_(port),
       policy_(policy), trace_(trace), cfg_(cfg),
       name_("proc" + std::to_string(id)),
       lat_gp_(stats, "proc" + std::to_string(id) + ".lat_issue_gp")
@@ -48,9 +48,40 @@ Processor::Processor(EventQueue &eq, StatSet &stats, ProcId id,
 }
 
 void
+Processor::reset(const Program &program)
+{
+    program_ = &program;
+    pc_ = 0;
+    int nregs = std::max(program.maxRegister() + 1, 1);
+    regs_.assign(nregs, 0);
+    reg_busy_.assign(nregs, false);
+    halted_ = false;
+    halt_tick_ = kNoTick;
+    ops_.clear();
+    addr_blocked_.clear();
+    write_buffer_.clear();
+    wb_drain_in_flight_ = false;
+    outstanding_ = 0;
+    not_gp_ = 0;
+    syncs_not_committed_ = 0;
+    syncs_not_gp_ = 0;
+    last_id_ = 0;
+    mem_op_index_ = 0;
+    // Safe only because the owner reset the event queue first: any
+    // pending dispatch lambda was destroyed with it.
+    advance_scheduled_ = false;
+    stall_since_ = kNoTick;
+    stall_cycles_ = 0;
+    instructions_ = 0;
+    stall_reason_ = StallReason::CounterNonzero;
+    stall_by_reason_.fill(0);
+    lat_gp_.reset();
+}
+
+void
 Processor::start()
 {
-    if (program_.size() == 0) {
+    if (program_->size() == 0) {
         halted_ = true;
         halt_tick_ = eq_.now();
         return;
@@ -201,12 +232,12 @@ Processor::tryAdvance()
 {
     if (halted_)
         return;
-    if (pc_ >= program_.size()) {
+    if (pc_ >= program_->size()) {
         halted_ = true;
         halt_tick_ = eq_.now();
         return;
     }
-    const Instruction &insn = program_.at(pc_);
+    const Instruction &insn = program_->at(pc_);
     switch (insn.op) {
       case Opcode::Movi:
         if (regBusy(insn.dst)) {

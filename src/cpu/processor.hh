@@ -66,6 +66,15 @@ class Processor : public CacheClient
     /** Kick off execution (schedules the first dispatch). */
     void start();
 
+    /**
+     * Restore construction-time state and bind a (possibly different)
+     * program for the next run. Registers are re-sized for the new
+     * program; all in-flight op records, write-buffer entries and
+     * stall attribution are dropped. The caller must have reset the
+     * event queue first so no stale dispatch events survive.
+     */
+    void reset(const Program &program);
+
     /** True once the Halt instruction retired. */
     bool halted() const { return halted_; }
 
@@ -154,7 +163,9 @@ class Processor : public CacheClient
     EventQueue &eq_;
     StatSet &stats_;
     ProcId id_;
-    const Program &program_;
+    /** Owned by the System/harness; rebound by reset() when the job's
+     * MultiProgram changes, hence a pointer rather than a reference. */
+    const Program *program_;
     MemPort &port_;
     const ConsistencyPolicy &policy_;
     ExecutionTrace *trace_;

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -198,7 +199,22 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
                 if (!options.tracePath.empty())
                     cfg.traceSink = &trace_buf;
                 try {
-                    System sys(test.program, cfg);
+                    // Pooled path: reuse this worker thread's System
+                    // for the cell (a reset replays bit-identically);
+                    // fall back to a stack-local fresh construction
+                    // when pooling is off.
+                    std::optional<System> local;
+                    System *sys_p;
+                    if (options.systemPool) {
+                        sys_p = &workerSystemPool().acquire(
+                            plan.machine->name + "/" +
+                                toString(plan.policy),
+                            test.program, cfg);
+                    } else {
+                        local.emplace(test.program, cfg);
+                        sys_p = &*local;
+                    }
+                    System &sys = *sys_p;
                     out.ran = true;
                     out.finished = sys.run();
                     if (out.finished) {
@@ -225,6 +241,10 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
                         }
                     }
                     out.stats = sys.stats();
+                    // A pooled instance outlives this job; the trace
+                    // buffer it may point at does not.
+                    if (options.systemPool && cfg.traceSink)
+                        sys.setTraceSink(nullptr);
                 } catch (const std::invalid_argument &) {
                     out.ran = false; // illegal config for this policy
                 }

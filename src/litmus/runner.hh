@@ -72,6 +72,15 @@ struct RunnerOptions
     bool drf0Memo = true;
 
     /**
+     * Serve each job's System from the worker thread's SystemPool
+     * (keyed by machine/policy cell) instead of constructing fresh.
+     * A reset System replays a job bit-identically, so reports do not
+     * depend on this flag — it exists for differential testing and as
+     * an escape hatch (`wo-litmus --no-pool`).
+     */
+    bool systemPool = true;
+
+    /**
      * Structured-trace output stem; empty disables tracing (the
      * default, with zero effect on reports). When set, every job runs
      * with a private TraceBuffer and writes a Chrome-trace JSON file

@@ -64,6 +64,13 @@ Interconnect::attach(NodeId id, Handler h)
 }
 
 void
+Interconnect::reset(std::uint64_t)
+{
+    sent_ = 0;
+    lat_msg_.reset();
+}
+
+void
 Interconnect::deliverAt(Tick when, Msg msg)
 {
     ++sent_;

@@ -52,6 +52,14 @@ class Interconnect
     /** Register the message handler for node @p id. */
     void attach(NodeId id, Handler h);
 
+    /**
+     * Restore construction-time state for reuse (handlers stay
+     * attached — the owning components persist across runs). @p seed
+     * re-seeds the jitter stream on a GeneralNetwork and is ignored by
+     * the Bus, mirroring how SystemConfig carries a net seed for both.
+     */
+    virtual void reset(std::uint64_t seed);
+
     /** Inject @p msg; it will be delivered to msg.dst's handler later. */
     virtual void send(Msg msg) = 0;
 
@@ -105,6 +113,13 @@ class Bus : public Interconnect
 
     void send(Msg msg) override;
 
+    void
+    reset(std::uint64_t seed) override
+    {
+        Interconnect::reset(seed);
+        free_at_ = 0;
+    }
+
   private:
     Config cfg_;
     Tick free_at_ = 0;
@@ -133,6 +148,15 @@ class GeneralNetwork : public Interconnect
     {}
 
     void send(Msg msg) override;
+
+    void
+    reset(std::uint64_t seed) override
+    {
+        Interconnect::reset(seed);
+        cfg_.seed = seed;
+        rng_ = Rng(seed);
+        last_delivery_.clear();
+    }
 
   private:
     Config cfg_;

@@ -42,6 +42,14 @@ class MemoryModule
     /** Directly read backing-store contents (final state inspection). */
     Word peek(Addr addr) const;
 
+    /** Drop all contents and pending service time for reuse. */
+    void
+    reset()
+    {
+        store_.clear();
+        free_at_ = 0;
+    }
+
     /** Attach a structured trace sink (nullptr detaches). Emits one
      * MemService event per request. */
     void setTraceSink(TraceSink *sink) { sink_ = sink; }

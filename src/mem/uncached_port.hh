@@ -43,6 +43,9 @@ class UncachedPort : public MemPort
     /** Incoming response handler. */
     void handle(const Msg &msg);
 
+    /** Drop in-flight requests for reuse (the client stays attached). */
+    void reset() { pending_.clear(); }
+
     /** Attach a structured trace sink (nullptr detaches). Emits one
      * PortRequest per access and one PortResponse per reply. */
     void setTraceSink(TraceSink *sink) { sink_ = sink; }

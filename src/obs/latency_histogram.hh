@@ -73,6 +73,19 @@ class LatencyHistogram
     /** Record one sample (bumps local counts and the StatSet mirror). */
     void record(Tick v);
 
+    /**
+     * Zero the local counts for reuse. The StatSet mirror is NOT
+     * touched here — the owner resets the whole StatSet alongside —
+     * but already-interned handles stay valid for the next record().
+     */
+    void reset()
+    {
+        counts_.fill(0);
+        count_ = 0;
+        total_ = 0;
+        max_ = 0;
+    }
+
     std::uint64_t count() const { return count_; }
     std::uint64_t total() const { return total_; }
     Tick maxValue() const { return max_; }

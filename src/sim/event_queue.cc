@@ -112,8 +112,13 @@ EventQueue::run(Tick max_ticks)
 }
 
 void
-EventQueue::reset()
+EventQueue::reset(bool drain)
 {
+    if (!heap_.empty() && !drain)
+        throw std::logic_error(
+            "EventQueue::reset: " + std::to_string(heap_.size()) +
+            " events still pending (pass drain=true to drop them "
+            "deliberately)");
     destroyPending();
     now_ = 0;
     next_seq_ = 0;

@@ -108,9 +108,17 @@ class EventQueue
      */
     bool run(Tick max_ticks = kNoTick);
 
-    /** Reset time to zero and drop all pending events (the event pool is
-     * retained for reuse). */
-    void reset();
+    /**
+     * Reset time to zero for reuse (the event pool is retained).
+     *
+     * A reset with events still pending is almost always a caller bug —
+     * silently dropping them would desynchronize whatever component
+     * scheduled them — so it throws std::logic_error in every build
+     * type unless @p drain is explicitly passed. Pass drain=true only
+     * when abandoning a run known to have pending work (e.g. one that
+     * hit its livelock tick limit).
+     */
+    void reset(bool drain = false);
 
   private:
     /** Bytes of in-record callable storage. Sized to hold the kernel's

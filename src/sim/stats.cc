@@ -83,6 +83,17 @@ StatSet::clear()
 }
 
 void
+StatSet::reset()
+{
+    for (Slot &s : slots_) {
+        s.value = 0;
+        s.touched = false;
+    }
+    values_.clear();
+    dirty_ = false;
+}
+
+void
 StatSet::syncValues() const
 {
     if (!dirty_)

@@ -137,6 +137,16 @@ class StatSet
     /** Remove every counter (interned handles become invalid). */
     void clear();
 
+    /**
+     * Zero every counter and max-tracker for reuse, keeping interned
+     * slots (and therefore every issued StatHandle) valid. Reset stats
+     * revert to untouched: they disappear from get/has/all/dump until
+     * bumped again, so a reset StatSet reports exactly what a freshly
+     * constructed one would. Kind markings (Sum/Max) are retained,
+     * matching what re-interning at construction would restore.
+     */
+    void reset();
+
     /** Pretty-print as an aligned two-column table. */
     void dump(std::ostream &os, const std::string &prefix_filter = "") const;
 

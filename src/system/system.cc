@@ -32,10 +32,6 @@ System::System(const MultiProgram &program, const SystemConfig &cfg)
         net_ = std::make_unique<GeneralNetwork>(eq_, stats_, cfg_.net);
     }
 
-    std::vector<Addr> addrs = program_.touchedAddrs();
-    for (Addr a : addrs)
-        trace_.setInitial(a, program_.initialValue(a));
-
     if (cfg_.cached) {
         CacheConfig ccfg = cfg_.cache;
         ccfg.syncReadsAsWrites = policy_->syncReadsAsWrites();
@@ -50,6 +46,132 @@ System::System(const MultiProgram &program, const SystemConfig &cfg)
                 eq_, *net_, stats_, p, nprocs, cfg_.numDirs, ccfg,
                 "cache" + std::to_string(p)));
         }
+    } else {
+        for (int m = 0; m < cfg_.numMemModules; ++m) {
+            mems_.push_back(std::make_unique<MemoryModule>(
+                eq_, *net_, stats_, nprocs + m, cfg_.mem));
+        }
+        for (ProcId p = 0; p < nprocs; ++p) {
+            uncached_ports_.push_back(std::make_unique<UncachedPort>(
+                eq_, *net_, stats_, p, nprocs, cfg_.numMemModules,
+                "port" + std::to_string(p)));
+        }
+    }
+
+    ProcessorConfig pcfg = cfg_.proc;
+    pcfg.useWriteBuffer = cfg_.writeBuffer;
+    for (ProcId p = 0; p < nprocs; ++p) {
+        MemPort &port = cfg_.cached
+                            ? static_cast<MemPort &>(*caches_[p])
+                            : static_cast<MemPort &>(*uncached_ports_[p]);
+        procs_.push_back(std::make_unique<Processor>(
+            eq_, stats_, p, program_.program(p), port, *policy_, &trace_,
+            pcfg));
+    }
+
+    // Shares the between-runs install path: initial-value pokes,
+    // warm-cache pre-loading and processor (re)binding live in one
+    // place, so a reset-reuse run starts from byte-identical state.
+    loadProgram(program_);
+    setTraceSink(cfg_.traceSink);
+}
+
+bool
+System::structurallyCompatible(const SystemConfig &cfg) const
+{
+    return cfg.cached == cfg_.cached &&
+           cfg.interconnect == cfg_.interconnect &&
+           cfg.policy == cfg_.policy &&
+           cfg.writeBuffer == cfg_.writeBuffer &&
+           cfg.numMemModules == cfg_.numMemModules &&
+           cfg.numDirs == cfg_.numDirs &&
+           cfg.bus.latency == cfg_.bus.latency &&
+           cfg.bus.occupancy == cfg_.bus.occupancy &&
+           cfg.net.base == cfg_.net.base &&
+           cfg.net.jitter == cfg_.net.jitter &&
+           cfg.mem.serviceLatency == cfg_.mem.serviceLatency &&
+           cfg.dir.latency == cfg_.dir.latency &&
+           cfg.cache.numSets == cfg_.cache.numSets &&
+           cfg.cache.ways == cfg_.cache.ways &&
+           cfg.cache.hitLatency == cfg_.cache.hitLatency &&
+           cfg.cache.invApplyDelay == cfg_.cache.invApplyDelay &&
+           cfg.cache.syncReadsAsWrites == cfg_.cache.syncReadsAsWrites &&
+           cfg.cache.useReserveBits == cfg_.cache.useReserveBits &&
+           cfg.cache.maxMissesWhileReserved ==
+               cfg_.cache.maxMissesWhileReserved &&
+           cfg.cache.epochReserveClearing ==
+               cfg_.cache.epochReserveClearing &&
+           cfg.proc.useWriteBuffer == cfg_.proc.useWriteBuffer &&
+           cfg.proc.wbDrainDelay == cfg_.proc.wbDrainDelay &&
+           cfg.proc.maxOutstanding == cfg_.proc.maxOutstanding &&
+           cfg.proc.cycle == cfg_.proc.cycle &&
+           cfg.warmCaches == cfg_.warmCaches;
+}
+
+bool
+System::compatibleWith(const MultiProgram &program,
+                       const SystemConfig &cfg) const
+{
+    return program.numProcs() == static_cast<int>(procs_.size()) &&
+           structurallyCompatible(cfg);
+}
+
+void
+System::reset(const SystemConfig &cfg)
+{
+    if (!structurallyCompatible(cfg)) {
+        throw std::invalid_argument(
+            "System::reset: config is structurally incompatible with the "
+            "built topology (only net.seed, maxTicks and traceSink may "
+            "vary between runs)");
+    }
+    // Deliberate drain: a run that hit its livelock tick limit leaves
+    // events pending, and abandoning them is exactly what reuse wants.
+    eq_.reset(/*drain=*/true);
+    stats_.reset();
+    trace_.clear();
+    net_->reset(cfg.net.seed);
+    for (auto &c : caches_)
+        c->reset();
+    for (auto &d : dirs_)
+        d->reset();
+    for (auto &m : mems_)
+        m->reset();
+    for (auto &u : uncached_ports_)
+        u->reset();
+    cfg_.net.seed = cfg.net.seed;
+    cfg_.maxTicks = cfg.maxTicks;
+    setTraceSink(cfg.traceSink);
+    loaded_ = false;
+}
+
+void
+System::reset()
+{
+    SystemConfig cfg = cfg_;
+    reset(cfg);
+    loadProgram(program_);
+}
+
+void
+System::loadProgram(const MultiProgram &program)
+{
+    if (program.numProcs() != static_cast<int>(procs_.size())) {
+        throw std::invalid_argument(
+            "System::loadProgram: workload has " +
+            std::to_string(program.numProcs()) +
+            " processors but the system was built with " +
+            std::to_string(procs_.size()));
+    }
+    if (&program != &program_)
+        program_ = program;
+
+    int nprocs = static_cast<int>(procs_.size());
+    std::vector<Addr> addrs = program_.touchedAddrs();
+    for (Addr a : addrs)
+        trace_.setInitial(a, program_.initialValue(a));
+
+    if (cfg_.cached) {
         for (Addr a : addrs)
             dirs_[a % cfg_.numDirs]->poke(a, program_.initialValue(a));
         if (cfg_.warmCaches) {
@@ -64,48 +186,39 @@ System::System(const MultiProgram &program, const SystemConfig &cfg)
             }
         }
     } else {
-        for (int m = 0; m < cfg_.numMemModules; ++m) {
-            mems_.push_back(std::make_unique<MemoryModule>(
-                eq_, *net_, stats_, nprocs + m, cfg_.mem));
-        }
-        for (ProcId p = 0; p < nprocs; ++p) {
-            uncached_ports_.push_back(std::make_unique<UncachedPort>(
-                eq_, *net_, stats_, p, nprocs, cfg_.numMemModules,
-                "port" + std::to_string(p)));
-        }
         for (Addr a : addrs)
             mems_[a % cfg_.numMemModules]->poke(a, program_.initialValue(a));
     }
 
-    ProcessorConfig pcfg = cfg_.proc;
-    pcfg.useWriteBuffer = cfg_.writeBuffer;
-    for (ProcId p = 0; p < nprocs; ++p) {
-        MemPort &port = cfg_.cached
-                            ? static_cast<MemPort &>(*caches_[p])
-                            : static_cast<MemPort &>(*uncached_ports_[p]);
-        procs_.push_back(std::make_unique<Processor>(
-            eq_, stats_, p, program_.program(p), port, *policy_, &trace_,
-            pcfg));
-    }
+    for (ProcId p = 0; p < nprocs; ++p)
+        procs_[p]->reset(program_.program(p));
+    loaded_ = true;
+}
 
-    if (cfg_.traceSink) {
-        net_->setTraceSink(cfg_.traceSink);
-        for (auto &c : caches_)
-            c->setTraceSink(cfg_.traceSink);
-        for (auto &d : dirs_)
-            d->setTraceSink(cfg_.traceSink);
-        for (auto &m : mems_)
-            m->setTraceSink(cfg_.traceSink);
-        for (auto &u : uncached_ports_)
-            u->setTraceSink(cfg_.traceSink);
-        for (auto &p : procs_)
-            p->setTraceSink(cfg_.traceSink);
-    }
+void
+System::setTraceSink(TraceSink *sink)
+{
+    cfg_.traceSink = sink;
+    net_->setTraceSink(sink);
+    for (auto &c : caches_)
+        c->setTraceSink(sink);
+    for (auto &d : dirs_)
+        d->setTraceSink(sink);
+    for (auto &m : mems_)
+        m->setTraceSink(sink);
+    for (auto &u : uncached_ports_)
+        u->setTraceSink(sink);
+    for (auto &p : procs_)
+        p->setTraceSink(sink);
 }
 
 bool
 System::run()
 {
+    if (!loaded_)
+        throw std::logic_error(
+            "System::run: no program loaded since reset (call "
+            "loadProgram first)");
     for (auto &p : procs_)
         p->start();
     bool drained = eq_.run(cfg_.maxTicks);

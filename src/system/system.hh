@@ -84,6 +84,39 @@ class System
      */
     bool run();
 
+    /**
+     * Restore construction-time state for reuse under @p cfg, which must
+     * be structurally compatible with the built topology (every field
+     * equal except net.seed, maxTicks and traceSink — the three that can
+     * vary between jobs of one campaign cell). Throws
+     * std::invalid_argument otherwise. All component state, statistics
+     * and the trace are cleared; pooled event slabs are retained. A
+     * program must be (re)installed with loadProgram() before run().
+     */
+    void reset(const SystemConfig &cfg);
+
+    /** Reset and reload the current program and config: the next run()
+     * replays the same job bit-identically. */
+    void reset();
+
+    /**
+     * Install @p program as the next workload: initial memory values are
+     * poked exactly as construction does (including warm-cache
+     * pre-loading) and every processor is rebound and reset. The program
+     * must have the same processor count as the one the system was built
+     * with; throws std::invalid_argument otherwise.
+     */
+    void loadProgram(const MultiProgram &program);
+
+    /** True if reset(cfg) + loadProgram(program) would succeed — the
+     * pool's can-I-reuse-this-instance test. */
+    bool compatibleWith(const MultiProgram &program,
+                        const SystemConfig &cfg) const;
+
+    /** Rewire the structured trace sink on every component (nullptr
+     * detaches); reset(cfg) applies cfg.traceSink through this. */
+    void setTraceSink(TraceSink *sink);
+
     /** Observable outcome (registers padded to the workload's register
      * count so results compare against idealized outcomes). */
     RunResult result() const;
@@ -128,8 +161,13 @@ class System
     std::vector<std::string> auditCoherence() const;
 
   private:
+    /** Every cfg field equal except net.seed, maxTicks, traceSink. */
+    bool structurallyCompatible(const SystemConfig &cfg) const;
+
     MultiProgram program_;
     SystemConfig cfg_;
+    /** False between reset(cfg) and the next loadProgram(). */
+    bool loaded_ = true;
     EventQueue eq_;
     StatSet stats_;
     ExecutionTrace trace_;

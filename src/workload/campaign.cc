@@ -59,6 +59,32 @@ consumeThreadsFlag(int &argc, char **argv)
     return threads > 0 ? threads : 0;
 }
 
+System &
+SystemPool::acquire(const std::string &key, const MultiProgram &program,
+                    const SystemConfig &cfg)
+{
+    auto it = cells_.find(key);
+    if (it != cells_.end() && it->second->compatibleWith(program, cfg)) {
+        ++reuses_;
+        System &sys = *it->second;
+        sys.reset(cfg);
+        sys.loadProgram(program);
+        return sys;
+    }
+    ++builds_;
+    auto sys = std::make_unique<System>(program, cfg);
+    System &ref = *sys;
+    cells_[key] = std::move(sys);
+    return ref;
+}
+
+SystemPool &
+workerSystemPool()
+{
+    thread_local SystemPool pool;
+    return pool;
+}
+
 Drf0ProgramReport
 Drf0Memo::check(const MultiProgram &program, int numSchedules,
                 std::uint64_t seed, int maxStepsPerExecution)

@@ -18,12 +18,15 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "core/drf0_checker.hh"
 #include "parallel/thread_pool.hh"
+#include "system/system.hh"
 
 namespace wo {
 
@@ -104,6 +107,63 @@ class Drf0Memo
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };
+
+/**
+ * A cache of constructed System instances keyed by campaign cell (by
+ * convention "machine-name/policy"), so successive jobs of one cell pay
+ * a reset instead of a rebuild.
+ *
+ * acquire() hands back the cached instance — reset under the job's
+ * config and reloaded with the job's program — when it is compatible
+ * (same topology and processor count; see System::compatibleWith).
+ * Anything else replaces the cell's entry with a fresh construction, so
+ * a miss never costs more than not pooling at all.
+ *
+ * A pool is single-threaded by design: campaign workers each use their
+ * own via workerSystemPool(). Determinism is unaffected — a reset
+ * System replays a job bit-identically to a freshly built one — so
+ * pooled parallel campaigns still match serial fresh-construction runs.
+ */
+class SystemPool
+{
+  public:
+    /**
+     * A System ready to run(@p program) under @p cfg: the cached
+     * instance for @p key if compatible, else a fresh replacement.
+     * The reference is owned by the pool and stays valid until the
+     * next acquire() for the same key or clear().
+     */
+    System &acquire(const std::string &key, const MultiProgram &program,
+                    const SystemConfig &cfg);
+
+    /** Jobs served by resetting a cached instance. */
+    std::uint64_t reuses() const { return reuses_; }
+
+    /** Jobs that constructed (first touch or incompatible). */
+    std::uint64_t builds() const { return builds_; }
+
+    /** Drop every cached instance and zero the counters. */
+    void
+    clear()
+    {
+        cells_.clear();
+        reuses_ = 0;
+        builds_ = 0;
+    }
+
+  private:
+    std::map<std::string, std::unique_ptr<System>> cells_;
+    std::uint64_t reuses_ = 0;
+    std::uint64_t builds_ = 0;
+};
+
+/**
+ * The calling thread's private SystemPool (thread_local, created on
+ * first use). Campaign job lambdas run on pool worker threads that live
+ * as long as the Campaign, so instances cached here survive from job to
+ * job and across map() calls without any cross-thread sharing.
+ */
+SystemPool &workerSystemPool();
 
 /** How a campaign runs. */
 struct CampaignConfig

@@ -87,12 +87,26 @@ TEST(EventQueue, RunHonorsTickLimit)
     EXPECT_EQ(eq.pending(), 1u);
 }
 
-TEST(EventQueue, ResetDropsPendingEvents)
+TEST(EventQueue, ResetWithPendingEventsThrowsWithoutDrain)
+{
+    // A reset that would silently drop scheduled work is a caller bug:
+    // it throws in every build type (like the past-tick scheduleAt
+    // guard), and the queue is left untouched so nothing was lost.
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(10, [&] { ++fired; });
+    EXPECT_THROW(eq.reset(), std::logic_error);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ResetWithDrainDropsPendingEventsDeliberately)
 {
     EventQueue eq;
     int fired = 0;
     eq.scheduleAt(10, [&] { ++fired; });
-    eq.reset();
+    eq.reset(/*drain=*/true);
     EXPECT_TRUE(eq.empty());
     EXPECT_TRUE(eq.run());
     EXPECT_EQ(fired, 0);

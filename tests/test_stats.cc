@@ -210,6 +210,65 @@ TEST(StatSet, DumpJsonEscapesNameMetacharacters)
     EXPECT_EQ(oss.str(), "{\n  \"we\\\"ird\\\\name\": 1\n}");
 }
 
+TEST(StatSet, ResetZeroesAndRevertsToUntouched)
+{
+    StatSet s;
+    s.inc("a", 7);
+    s.maxOf("m", 9);
+    s.reset();
+    // Reset stats are invisible everywhere, exactly like a fresh set.
+    EXPECT_FALSE(s.has("a"));
+    EXPECT_FALSE(s.has("m"));
+    EXPECT_EQ(s.get("a"), 0u);
+    EXPECT_TRUE(s.all().empty());
+    std::ostringstream oss;
+    s.dumpJson(oss);
+    EXPECT_EQ(oss.str(), "{}");
+}
+
+TEST(StatSet, ResetKeepsHandlesValidAndKinds)
+{
+    // The pool's whole point: components intern handles once at
+    // construction and keep bumping them across System resets. The
+    // handles must stay bound to their slots, with kinds intact.
+    StatSet s;
+    StatHandle hits = s.handle("cache.hits");
+    StatHandle depth = s.handle("cache.depth", StatSet::Kind::Max);
+    s.inc(hits, 5);
+    s.maxOf(depth, 8);
+
+    s.reset();
+    s.inc(hits, 2);
+    s.maxOf(depth, 3);
+    s.maxOf(depth, 1);
+    EXPECT_EQ(s.get("cache.hits"), 2u);  // not 7: reset zeroed it
+    EXPECT_EQ(s.get("cache.depth"), 3u); // max-kind survived reset
+
+    // Post-reset state is indistinguishable from a fresh set driven
+    // through the same operations.
+    StatSet fresh;
+    fresh.inc("cache.hits", 2);
+    fresh.maxOf("cache.depth", 3);
+    fresh.maxOf("cache.depth", 1);
+    EXPECT_EQ(s.all(), fresh.all());
+    std::ostringstream a, b;
+    s.dumpJson(a);
+    fresh.dumpJson(b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(StatSet, ResetThenMergeMatchesFresh)
+{
+    // Campaign merge after a reset must behave as if the set were new
+    // (kind adoption included).
+    StatSet s, other;
+    s.maxOf("m", 100);
+    s.reset();
+    other.maxOf("m", 4);
+    s.merge(other);
+    EXPECT_EQ(s.get("m"), 4u); // 100 must not survive the reset
+}
+
 TEST(StatSet, ClearEmpties)
 {
     StatSet s;

@@ -23,6 +23,10 @@
  *                    instead of memoizing verdicts by program content
  *                    (the memo never changes a verdict — this flag
  *                    exists for timing comparisons and debugging)
+ *   --no-pool        construct a fresh System per run instead of
+ *                    resetting a pooled per-worker instance (reports
+ *                    are byte-identical either way — this flag exists
+ *                    for timing comparisons and differential testing)
  *   --no-histograms  omit outcome histograms from the text report
  *   --list           parse + compile only; list tests and exit
  *   --trace=STEM     write one Chrome-trace JSON per run, named
@@ -63,7 +67,7 @@ usage(std::ostream &os)
           "                 [--machines=LIST] [--list-machines]\n"
           "                 [--json[=FILE]] [--no-verify] "
           "[--no-drf0-memo]\n"
-          "                 [--no-histograms] [--list]\n"
+          "                 [--no-pool] [--no-histograms] [--list]\n"
           "                 [--trace=STEM] [--trace-filter=LIST]\n"
           "                 <file-or-dir>...\n";
     return 2;
@@ -155,6 +159,8 @@ main(int argc, char **argv)
             options.verify = false;
         } else if (arg == "--no-drf0-memo") {
             options.drf0Memo = false;
+        } else if (arg == "--no-pool") {
+            options.systemPool = false;
         } else if (arg == "--no-histograms") {
             histograms = false;
         } else if (arg == "--list") {
