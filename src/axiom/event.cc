@@ -1,0 +1,101 @@
+#include "axiom/event.hh"
+
+#include <sstream>
+
+namespace wo {
+namespace axiom {
+
+std::string
+defaultAddrName(Addr a)
+{
+    return "[" + std::to_string(a) + "]";
+}
+
+AddrNamer
+namerFrom(const std::map<std::string, Addr> &addr_of)
+{
+    std::map<Addr, std::string> inverse;
+    for (const auto &[loc, a] : addr_of)
+        inverse.emplace(a, loc);
+    return [inverse](Addr a) {
+        auto it = inverse.find(a);
+        return it == inverse.end() ? defaultAddrName(a) : it->second;
+    };
+}
+
+namespace {
+
+std::string
+addrName(const AddrNamer &name, Addr a)
+{
+    std::string s = name ? name(a) : std::string();
+    return s.empty() ? defaultAddrName(a) : s;
+}
+
+} // namespace
+
+std::string
+AxEvent::toString(const AddrNamer &name) const
+{
+    std::ostringstream os;
+    os << "P" << proc << " ";
+    if (fence) {
+        os << "fence";
+        return os.str();
+    }
+    os << wo::toString(kind) << " " << addrName(name, addr);
+    if (reads())
+        os << "=" << valueRead;
+    if (writes())
+        os << ":=" << valueWritten;
+    return os.str();
+}
+
+RunResult
+Candidate::outcome(const MultiProgram &program) const
+{
+    RunResult r;
+    r.allHalted = true;
+    for (Addr a : program.touchedAddrs()) {
+        auto it = co.find(a);
+        if (it != co.end() && !it->second.empty())
+            r.finalMemory[a] = events[it->second.back()].valueWritten;
+        else
+            r.finalMemory[a] = program.initialValue(a);
+    }
+    r.registers.resize(program.numProcs());
+    for (ProcId p = 0; p < program.numProcs(); ++p) {
+        r.registers[p] = p < static_cast<ProcId>(finalRegs.size())
+                             ? finalRegs[p]
+                             : std::vector<Word>();
+        r.registers[p].resize(program.numRegisters(), 0);
+    }
+    return r;
+}
+
+std::string
+Candidate::toString(const AddrNamer &name) const
+{
+    std::ostringstream os;
+    for (const AxEvent &e : events) {
+        os << "e" << e.id << ": " << e.toString(name);
+        if (e.reads()) {
+            os << "  rf<- ";
+            if (rf[e.id] == kInitialWrite)
+                os << "init";
+            else
+                os << "e" << rf[e.id];
+        }
+        os << "\n";
+    }
+    for (const auto &[a, chain] : co) {
+        os << "co " << addrName(name, a) << ": init";
+        for (int id : chain)
+            os << " -> e" << id;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace axiom
+} // namespace wo

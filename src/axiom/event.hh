@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Events and candidate executions of the axiomatic backend.
+ *
+ * Where the operational simulator produces one concrete trace per run,
+ * the axiomatic backend reasons about *candidate executions*: a set of
+ * memory events (one per dynamic access of some control-flow path of
+ * each processor), a reads-from assignment rf (which write each read
+ * takes its value from), and a per-address coherence order co (a total
+ * order on the writes to each location). The from-reads relation
+ * fr = rf^-1 ; co is derived. A memory model then either accepts or
+ * rejects the candidate by acyclicity constraints over these relations
+ * (see axiom/model.hh) — the herd/cat recipe, specialized to the
+ * paper's tiny ISA.
+ *
+ * The hypothetical initializing writes of the paper are modelled
+ * implicitly: rf may point at kInitialWrite, and the initial value is
+ * co-before every program write to its location.
+ */
+
+#ifndef WO_AXIOM_EVENT_HH
+#define WO_AXIOM_EVENT_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/trace.hh"
+#include "cpu/isa.hh"
+#include "cpu/program.hh"
+#include "sim/types.hh"
+
+namespace wo {
+namespace axiom {
+
+/** rf source naming the hypothetical initializing write. */
+constexpr int kInitialWrite = -1;
+
+/** rf slot value for events without a read component. */
+constexpr int kNotARead = -2;
+
+/** Maps an interned address to a symbolic name for rendering; may
+ * return "" to fall back to the numeric form "[addr]". */
+using AddrNamer = std::function<std::string(Addr)>;
+
+/** Plain numeric rendering (the default namer). */
+std::string defaultAddrName(Addr a);
+
+/** Namer over a symbol table like CompiledLitmus::addrOf (unmapped
+ * addresses fall back to the numeric form). */
+AddrNamer namerFrom(const std::map<std::string, Addr> &addr_of);
+
+/**
+ * One event of a candidate execution: a dynamic memory access (read,
+ * write or read-modify-write) or a fence. Fences carry no address but
+ * participate in program order, so fence-aware models can order the
+ * accesses around them.
+ */
+struct AxEvent
+{
+    int id = -1;       ///< index within the candidate's event list
+    ProcId proc = 0;   ///< issuing processor
+    int poIndex = 0;   ///< program-order index among this proc's events
+    bool fence = false;
+
+    /** Access category; meaningless when fence. */
+    AccessKind kind = AccessKind::DataRead;
+    Addr addr = 0;
+    Word valueRead = 0;    ///< read / rmw events
+    Word valueWritten = 0; ///< write / rmw events
+
+    /** Write value came from a register rather than an immediate
+     * (constrains the path enumerator's stutter pruning). */
+    bool regSourcedWrite = false;
+
+    bool reads() const { return !fence && readsMemory(kind); }
+    bool writes() const { return !fence && writesMemory(kind); }
+    bool isRmw() const { return !fence && kind == AccessKind::SyncRmw; }
+    bool sync() const { return !fence && isSync(kind); }
+
+    /** "P1 R x=1", "P0 W x:=2", "P0 S(rw) s=0:=1", "P0 fence". */
+    std::string toString(const AddrNamer &name = defaultAddrName) const;
+};
+
+/**
+ * One complete candidate execution. Events are grouped by processor in
+ * program order (ids ascending within a processor).
+ */
+struct Candidate
+{
+    std::vector<AxEvent> events;
+
+    /** Event ids of each processor, in program order. */
+    std::vector<std::vector<int>> byProc;
+
+    /** Final register values per processor (determined by the path). */
+    std::vector<std::vector<Word>> finalRegs;
+
+    /** Per event id: source write of its read component (kInitialWrite
+     * for the initial value), or kNotARead. */
+    std::vector<int> rf;
+
+    /** Per address: write-event ids in coherence order. */
+    std::map<Addr, std::vector<int>> co;
+
+    /** The observable outcome: co-final memory values over every
+     * address of @p program, plus the path's final registers padded to
+     * the program's register count. allHalted is always true (only
+     * complete paths become candidates). */
+    RunResult outcome(const MultiProgram &program) const;
+
+    /** Multi-line rendering of events, rf, co and derived fr. */
+    std::string toString(const AddrNamer &name = defaultAddrName) const;
+};
+
+} // namespace axiom
+} // namespace wo
+
+#endif // WO_AXIOM_EVENT_HH

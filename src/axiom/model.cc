@@ -1,0 +1,135 @@
+#include "axiom/model.hh"
+
+#include "axiom/relation.hh"
+
+namespace wo {
+namespace axiom {
+
+namespace {
+
+ModelVerdict
+verdictOf(const Candidate &c, const RelGraph &g, bool need_cycle,
+          const AddrNamer &name)
+{
+    ModelVerdict v;
+    v.allowed = g.acyclic();
+    if (!v.allowed && need_cycle)
+        v.cycle = renderCycle(c, g.findCycle(), name);
+    return v;
+}
+
+RelGraph
+scGraph(const Candidate &c)
+{
+    RelGraph g(static_cast<int>(c.events.size()));
+    addPo(c, g);
+    addRf(c, g);
+    addCo(c, g);
+    addFr(c, g);
+    return g;
+}
+
+RelGraph
+wbGraph(const Candidate &c)
+{
+    RelGraph g(static_cast<int>(c.events.size()));
+    addPoLoc(c, g);
+    addFenceOrder(c, g);
+    addRf(c, g);
+    addCo(c, g);
+    addFr(c, g);
+    return g;
+}
+
+class ScModel : public AxiomaticModel
+{
+  public:
+    std::string name() const override { return "sc"; }
+    std::string summary() const override
+    {
+        return "sequential consistency: acyclic(po | rf | co | fr)";
+    }
+    ModelVerdict check(const Candidate &c, const ModelContext &,
+                       bool need_cycle,
+                       const AddrNamer &name) const override
+    {
+        return verdictOf(c, scGraph(c), need_cycle, name);
+    }
+};
+
+class WbModel : public AxiomaticModel
+{
+  public:
+    std::string name() const override { return "wb"; }
+    std::string summary() const override
+    {
+        return "relaxed-hardware envelope: acyclic(poloc | fence | rf | "
+               "co | fr) — coherence, atomicity and fences only";
+    }
+    ModelVerdict check(const Candidate &c, const ModelContext &,
+                       bool need_cycle,
+                       const AddrNamer &name) const override
+    {
+        return verdictOf(c, wbGraph(c), need_cycle, name);
+    }
+};
+
+class Drf0ScModel : public AxiomaticModel
+{
+  public:
+    std::string name() const override { return "drf0sc"; }
+    std::string summary() const override
+    {
+        return "weak ordering w.r.t. DRF0: sc when the program is "
+               "data-race-free, wb otherwise";
+    }
+    ModelVerdict check(const Candidate &c, const ModelContext &ctx,
+                       bool need_cycle,
+                       const AddrNamer &name) const override
+    {
+        return verdictOf(c, ctx.programDrf0 ? scGraph(c) : wbGraph(c),
+                         need_cycle, name);
+    }
+};
+
+} // namespace
+
+const std::vector<const AxiomaticModel *> &
+axiomModels()
+{
+    static const ScModel sc;
+    static const WbModel wb;
+    static const Drf0ScModel drf0sc;
+    static const std::vector<const AxiomaticModel *> all = {&sc, &wb,
+                                                            &drf0sc};
+    return all;
+}
+
+const AxiomaticModel *
+findAxiomModel(const std::string &name)
+{
+    for (const AxiomaticModel *m : axiomModels()) {
+        if (m->name() == name)
+            return m;
+    }
+    return nullptr;
+}
+
+const AxiomaticModel *
+modelForPolicy(PolicyKind policy)
+{
+    switch (policy) {
+      case PolicyKind::Sc:
+        return findAxiomModel("sc");
+      case PolicyKind::Def1:
+      case PolicyKind::Def2Drf0:
+      case PolicyKind::Def2Drf1:
+        return findAxiomModel("drf0sc");
+      case PolicyKind::Relaxed:
+        return findAxiomModel("wb");
+    }
+    return findAxiomModel("wb");
+}
+
+} // namespace axiom
+} // namespace wo

@@ -22,6 +22,8 @@ Cache::Cache(EventQueue &eq, Interconnect &net, StatSet &stats, NodeId node,
     stat_.stalledByReserveBound =
         stats_.handle(name_ + ".stalled_by_reserve_bound");
     stat_.stalledByEviction = stats_.handle(name_ + ".stalled_by_eviction");
+    stat_.stalledByMshrConflict =
+        stats_.handle(name_ + ".stalled_by_mshr_conflict");
     stat_.counterMax =
         stats_.handle(name_ + ".counter_max", StatSet::Kind::Max);
     stat_.putacks = stats_.handle(name_ + ".putacks");
@@ -236,9 +238,18 @@ Cache::access(const CacheOp &op)
         return;
     }
 
-    // Misses (including upgrades).
-    assert(mshrs_.find(op.addr) == mshrs_.end() &&
-           "processor must order same-address accesses");
+    // Misses (including upgrades). Processors order same-address
+    // accesses (condition 1), so a second miss to a line with an MSHR
+    // outstanding should not happen; if one slips through anyway, stall
+    // it until the fill rather than clobbering the live MSHR.
+    if (mshrs_.find(op.addr) != mshrs_.end()) {
+        assert(false && "processor must order same-address accesses");
+        stalled_ops_.push_back(op);
+        stats_.inc(stat_.stalledByMshrConflict);
+        if (sink_)
+            emitEvent(TraceKind::MissStalled, op.addr, 0, "mshr_conflict");
+        return;
+    }
 
     // Section 5.3: bound the misses sent while a line is reserved, so a
     // stalled remote synchronization is serviced after a bounded number

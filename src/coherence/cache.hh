@@ -246,6 +246,7 @@ class Cache : public MemPort
         StatHandle reserves;
         StatHandle stalledByReserveBound;
         StatHandle stalledByEviction;
+        StatHandle stalledByMshrConflict;
         StatHandle counterMax;
         StatHandle putacks;
         StatHandle invalidations;

@@ -438,19 +438,27 @@ Processor::drainWriteBuffer()
     if (wb_drain_in_flight_ || write_buffer_.empty())
         return;
     const WbEntry &head = write_buffer_.front();
+    // Same-address ordering (condition 1) binds the drain too: the cache
+    // holds one miss per address, so the head must wait while an
+    // ordinary access to its line is outstanding. opCommitted clears the
+    // block and re-invokes the drain.
+    if (addr_blocked_.count(head.addr))
+        return;
+    Tick ready = head.insertTick + cfg_.wbDrainDelay;
+    Tick delay = ready > eq_.now() ? ready - eq_.now() : 0;
+    if (delay > 0) {
+        // Re-decide at ready time; the address block may change. A
+        // duplicate wakeup is harmless — the re-check is idempotent.
+        eq_.scheduleAfter(delay, [this] { drainWriteBuffer(); });
+        return;
+    }
     wb_drain_in_flight_ = true;
     CacheOp op;
     op.id = head.id;
     op.kind = AccessKind::DataWrite;
     op.addr = head.addr;
     op.writeValue = head.value;
-    Tick ready = head.insertTick + cfg_.wbDrainDelay;
-    Tick delay = ready > eq_.now() ? ready - eq_.now() : 0;
-    if (delay == 0) {
-        port_.request(op);
-    } else {
-        eq_.scheduleAfter(delay, [this, op] { port_.request(op); });
-    }
+    port_.request(op);
 }
 
 void
@@ -478,6 +486,7 @@ Processor::opCommitted(std::uint64_t id, Word read_value)
     if (isSync(rec.kind))
         --syncs_not_committed_;
     addr_blocked_.erase(rec.addr);
+    drainWriteBuffer(); // a buffered write to rec.addr may be waiting
     if (rec.destReg >= 0) {
         regs_[rec.destReg] = read_value;
         reg_busy_[rec.destReg] = false;

@@ -311,6 +311,113 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
             tr.cells.push_back(std::move(cell));
         }
 
+        // Differential axiomatic stage: every simulator-observed
+        // outcome must be allowed by the model bounding its policy.
+        if (options.axiomCheck) {
+            axiom::ModelContext mctx;
+            mctx.programDrf0 = tr.drf0;
+            axiom::AxiomResult ax =
+                axiom::enumerateAllowed(test.program, axiom::axiomModels(),
+                                        mctx, options.axiomLimits);
+            tr.axiomChecked = true;
+            tr.axiomComplete = ax.complete;
+            axiom::AddrNamer namer = axiom::namerFrom(test.addrOf);
+
+            // Project allowed RunResults onto the clause's outcome
+            // keys, filling untouched clause locations with their
+            // initial values exactly as the per-job path does.
+            auto project = [&](const RunResult &r) {
+                RunResult filled = r;
+                for (const auto &[loc, addr] : test.addrOf) {
+                    if (!filled.finalMemory.count(addr)) {
+                        filled.finalMemory[addr] =
+                            test.program.initialValue(addr);
+                    }
+                }
+                return outcomeKey(vars, filled, test.addrOf);
+            };
+            std::map<std::string, std::set<std::string>> allowed_keys;
+            for (const auto &[model, set] : ax.allowed) {
+                std::set<std::string> &keys = allowed_keys[model];
+                for (const RunResult &r : set)
+                    keys.insert(project(r));
+                ModelAllowedReport mar;
+                mar.model = model;
+                mar.outcomes.assign(keys.begin(), keys.end());
+                tr.axiomAllowed.push_back(std::move(mar));
+            }
+
+            for (CellReport &cell : tr.cells) {
+                const axiom::AxiomaticModel *model =
+                    axiom::modelForPolicy(cell.policy);
+                cell.axiomModel = model->name();
+                const std::set<std::string> &keys =
+                    allowed_keys[model->name()];
+                for (const auto &[key, count] : cell.histogram) {
+                    if (!keys.count(key))
+                        cell.axiomForbidden.push_back(key);
+                }
+                if (cell.axiomForbidden.empty())
+                    continue;
+                if (!ax.complete) {
+                    // A truncated allowed set is a lower bound:
+                    // absence proves nothing, so only advise.
+                    cell.note = cell.note.empty()
+                                    ? "axiom-incomplete"
+                                    : cell.note + "; axiom-incomplete";
+                    continue;
+                }
+                cell.pass = false;
+                cell.note = cell.note.empty()
+                                ? "axiom-forbidden outcome"
+                                : cell.note + "; axiom-forbidden outcome";
+                const std::string &key = cell.axiomForbidden.front();
+                axiom::Explanation ex = axiom::explainOutcome(
+                    test.program, {model}, mctx,
+                    [&](const RunResult &r) { return project(r) == key; },
+                    options.axiomLimits, namer);
+                std::string why;
+                if (!ex.matched) {
+                    why = "no candidate execution reaches this outcome";
+                } else if (!ex.models[0].allowed &&
+                           !ex.models[0].cycle.empty()) {
+                    why = "witness cycle: " + ex.models[0].cycle;
+                } else {
+                    why = "rejected by the model";
+                }
+                tr.failures.push_back(
+                    toString(cell.policy) + "/" + cell.variant +
+                    ": observed {" + key + "} forbidden by model " +
+                    model->name() + " — " + why);
+            }
+
+            // Coverage: observed vs allowed per policy over its whole
+            // variant fan (allowed-but-never-observed outcomes flag
+            // behaviors the machines cannot or did not produce).
+            for (PolicyKind pk : options.policies) {
+                PolicyCoverage cov;
+                cov.policy = pk;
+                const axiom::AxiomaticModel *model =
+                    axiom::modelForPolicy(pk);
+                cov.model = model->name();
+                std::set<std::string> seen;
+                for (const CellReport &cell : tr.cells) {
+                    if (cell.policy != pk)
+                        continue;
+                    for (const auto &[key, count] : cell.histogram)
+                        seen.insert(key);
+                }
+                for (const std::string &key :
+                     allowed_keys[model->name()]) {
+                    if (seen.count(key))
+                        cov.observed.push_back(key);
+                    else
+                        cov.unobserved.push_back(key);
+                }
+                tr.coverage.push_back(std::move(cov));
+            }
+        }
+
         // `exists` is judged over the whole Relaxed fan: the weak
         // machine must exhibit the outcome somewhere.
         if (test.clause.kind == ClauseKind::Exists) {
@@ -336,13 +443,21 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
 }
 
 void
-printReport(std::ostream &os, const CorpusReport &report, bool histograms)
+printReport(std::ostream &os, const CorpusReport &report, bool histograms,
+            bool coverage)
 {
     for (const TestReport &tr : report.tests) {
         os << "== " << tr.name << "  (" << tr.file << ")\n";
         os << "   clause : " << tr.clause << "\n";
         os << "   program: "
            << (tr.drf0 ? "DRF0 (sampled)" : "racy (sampled)") << "\n";
+        if (tr.axiomChecked) {
+            os << "   axiom  : "
+               << (tr.axiomComplete ? "complete" : "truncated");
+            for (const ModelAllowedReport &mar : tr.axiomAllowed)
+                os << "  " << mar.model << "=" << mar.outcomes.size();
+            os << "\n";
+        }
         os << "   " << std::left << std::setw(14) << "policy"
            << std::setw(9) << "variant" << std::right << std::setw(6)
            << "runs" << std::setw(6) << "done" << std::setw(6) << "hits"
@@ -372,6 +487,19 @@ printReport(std::ostream &os, const CorpusReport &report, bool histograms)
                    << cell.variant << "]:";
                 for (const auto &[key, count] : cell.histogram)
                     os << "  " << count << ":> {" << key << "}";
+                os << "\n";
+            }
+        }
+        if (coverage) {
+            for (const PolicyCoverage &cov : tr.coverage) {
+                os << "   coverage [" << toString(cov.policy) << " via "
+                   << cov.model << "]: observed " << cov.observed.size()
+                   << "/" << (cov.observed.size() + cov.unobserved.size());
+                if (!cov.unobserved.empty()) {
+                    os << "; unobserved:";
+                    for (const std::string &key : cov.unobserved)
+                        os << " {" << key << "}";
+                }
                 os << "\n";
             }
         }
@@ -411,6 +539,38 @@ writeJsonReport(std::ostream &os, const CorpusReport &report)
         os << "      \"drf0\": " << (tr.drf0 ? "true" : "false") << ",\n";
         os << "      \"drf0Bounded\": "
            << (tr.drf0Bounded ? "true" : "false") << ",\n";
+        os << "      \"axiom\": {\"checked\": "
+           << (tr.axiomChecked ? "true" : "false")
+           << ", \"complete\": " << (tr.axiomComplete ? "true" : "false")
+           << ", \"allowed\": {";
+        for (std::size_t i = 0; i < tr.axiomAllowed.size(); ++i) {
+            const ModelAllowedReport &mar = tr.axiomAllowed[i];
+            os << (i ? ", " : "") << "\"" << jsonEscape(mar.model)
+               << "\": [";
+            for (std::size_t k = 0; k < mar.outcomes.size(); ++k) {
+                os << (k ? ", " : "") << "\""
+                   << jsonEscape(mar.outcomes[k]) << "\"";
+            }
+            os << "]";
+        }
+        os << "}, \"coverage\": [";
+        for (std::size_t i = 0; i < tr.coverage.size(); ++i) {
+            const PolicyCoverage &cov = tr.coverage[i];
+            os << (i ? ", " : "") << "{\"policy\": \""
+               << toString(cov.policy) << "\", \"model\": \""
+               << jsonEscape(cov.model) << "\", \"observed\": [";
+            for (std::size_t k = 0; k < cov.observed.size(); ++k) {
+                os << (k ? ", " : "") << "\""
+                   << jsonEscape(cov.observed[k]) << "\"";
+            }
+            os << "], \"unobserved\": [";
+            for (std::size_t k = 0; k < cov.unobserved.size(); ++k) {
+                os << (k ? ", " : "") << "\""
+                   << jsonEscape(cov.unobserved[k]) << "\"";
+            }
+            os << "]}";
+        }
+        os << "]},\n";
         os << "      \"pass\": " << (tr.pass ? "true" : "false") << ",\n";
         os << "      \"failures\": [";
         for (std::size_t i = 0; i < tr.failures.size(); ++i) {
@@ -431,7 +591,13 @@ writeJsonReport(std::ostream &os, const CorpusReport &report)
                << ", \"scUnknown\": " << cell.scUnknown
                << ", \"enforced\": " << (cell.enforced ? "true" : "false")
                << ", \"pass\": " << (cell.pass ? "true" : "false")
-               << ", \"histogram\": {";
+               << ", \"axiomModel\": \"" << jsonEscape(cell.axiomModel)
+               << "\", \"axiomForbidden\": [";
+            for (std::size_t k = 0; k < cell.axiomForbidden.size(); ++k) {
+                os << (k ? ", " : "") << "\""
+                   << jsonEscape(cell.axiomForbidden[k]) << "\"";
+            }
+            os << "], \"histogram\": {";
             bool first = true;
             for (const auto &[key, count] : cell.histogram) {
                 os << (first ? "" : ", ") << "\"" << jsonEscape(key)

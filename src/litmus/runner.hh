@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "axiom/enumerate.hh"
 #include "consistency/policy.hh"
 #include "litmus/compiler.hh"
 #include "obs/trace_event.hh"
@@ -99,6 +100,23 @@ struct RunnerOptions
         PolicyKind::Def2Drf0,
         PolicyKind::Relaxed,
     };
+
+    /**
+     * Differential axiomatic stage (on by default): enumerate each
+     * test's allowed-outcome sets under the axiomatic models and fail
+     * any cell whose simulator-observed outcome the policy's bounding
+     * model forbids — SC observations must be "sc"-allowed, the weak
+     * ordering policies "drf0sc"-allowed, Relaxed "wb"-allowed. A
+     * forbidden observation's failure message carries the witness
+     * cycle (or reports that no candidate execution reaches the
+     * outcome at all). When enumeration is truncated by a cap the
+     * verdict is advisory only (absence from a lower bound proves
+     * nothing).
+     */
+    bool axiomCheck = true;
+
+    /** Caps for the axiomatic enumeration. */
+    axiom::AxiomLimits axiomLimits;
 };
 
 /** Aggregate of one test x policy x variant cell. */
@@ -120,6 +138,31 @@ struct CellReport
 
     /** Outcome-key -> count over finished runs. */
     std::map<std::string, int> histogram;
+
+    /** Axiomatic model bounding this cell's policy (empty when the
+     * axiom stage is off). */
+    std::string axiomModel;
+
+    /** Observed outcome keys the bounding model forbids. Fails the
+     * cell when enumeration was complete. */
+    std::vector<std::string> axiomForbidden;
+};
+
+/** One model's allowed outcomes, projected to clause outcome keys. */
+struct ModelAllowedReport
+{
+    std::string model;
+    std::vector<std::string> outcomes; ///< sorted outcome keys
+};
+
+/** Observed vs allowed outcomes of one policy over all its variants. */
+struct PolicyCoverage
+{
+    PolicyKind policy = PolicyKind::Sc;
+    std::string model; ///< bounding model
+
+    std::vector<std::string> observed;   ///< allowed and seen
+    std::vector<std::string> unobserved; ///< allowed, never seen
 };
 
 /** Aggregate of one test over the whole fan. */
@@ -133,6 +176,11 @@ struct TestReport
     bool drf0Bounded = true;  ///< verdict is a bounded guarantee
 
     std::vector<CellReport> cells; ///< policy-major, variant-minor order
+
+    bool axiomChecked = false; ///< the axiomatic stage ran
+    bool axiomComplete = true; ///< enumeration was not truncated
+    std::vector<ModelAllowedReport> axiomAllowed; ///< per model, sorted
+    std::vector<PolicyCoverage> coverage; ///< per policy, options order
 
     bool pass = true;
     std::vector<std::string> failures; ///< human-readable reasons
@@ -164,9 +212,11 @@ CorpusReport runCorpus(const std::vector<CompiledLitmus> &tests,
                        const std::vector<const MachineSpec *> &machines =
                            defaultMachines());
 
-/** Human-readable report: per-test tables, histograms, final summary. */
+/** Human-readable report: per-test tables, histograms, final summary.
+ * @p coverage adds the per-policy observed/unobserved outcome lines
+ * (wo-litmus --coverage-report). */
 void printReport(std::ostream &os, const CorpusReport &report,
-                 bool histograms = true);
+                 bool histograms = true, bool coverage = false);
 
 /** Machine-readable JSON report (stable key order). */
 void writeJsonReport(std::ostream &os, const CorpusReport &report);

@@ -27,6 +27,14 @@
  *                    resetting a pooled per-worker instance (reports
  *                    are byte-identical either way — this flag exists
  *                    for timing comparisons and differential testing)
+ *   --axiom-check    differential axiomatic stage (default): fail any
+ *                    cell whose observed outcome the policy's bounding
+ *                    axiomatic model forbids (witness cycle in the
+ *                    failure message)
+ *   --no-axiom-check skip the axiomatic stage
+ *   --coverage-report
+ *                    print per-policy observed vs allowed outcome
+ *                    coverage (allowed-but-never-observed outcomes)
  *   --no-histograms  omit outcome histograms from the text report
  *   --list           parse + compile only; list tests and exit
  *   --trace=STEM     write one Chrome-trace JSON per run, named
@@ -68,6 +76,8 @@ usage(std::ostream &os)
           "                 [--json[=FILE]] [--no-verify] "
           "[--no-drf0-memo]\n"
           "                 [--no-pool] [--no-histograms] [--list]\n"
+          "                 [--axiom-check] [--no-axiom-check]\n"
+          "                 [--coverage-report]\n"
           "                 [--trace=STEM] [--trace-filter=LIST]\n"
           "                 <file-or-dir>...\n";
     return 2;
@@ -108,6 +118,7 @@ main(int argc, char **argv)
     bool json = false;
     bool list_only = false;
     bool histograms = true;
+    bool coverage = false;
     std::string json_file;
     std::vector<std::string> paths;
     std::vector<const MachineSpec *> machines = defaultMachines();
@@ -161,6 +172,12 @@ main(int argc, char **argv)
             options.drf0Memo = false;
         } else if (arg == "--no-pool") {
             options.systemPool = false;
+        } else if (arg == "--axiom-check") {
+            options.axiomCheck = true;
+        } else if (arg == "--no-axiom-check") {
+            options.axiomCheck = false;
+        } else if (arg == "--coverage-report") {
+            coverage = true;
         } else if (arg == "--no-histograms") {
             histograms = false;
         } else if (arg == "--list") {
@@ -217,7 +234,7 @@ main(int argc, char **argv)
     }
 
     CorpusReport report = runCorpus(tests, options, machines);
-    printReport(std::cout, report, histograms);
+    printReport(std::cout, report, histograms, coverage);
 
     if (json) {
         if (json_file.empty()) {
