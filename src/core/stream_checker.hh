@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Streaming DRF0 checking over a bounded trace window.
+ *
+ * checkTrace() needs the whole ExecutionTrace resident: it sorts the
+ * complete per-proc/per-sync index lists, topologically orders (po U so)
+ * and only then feeds the vector-clock detector. This header provides the
+ * online replacement used by the trace-replay pipeline: accesses are fed
+ * to one long-lived RaceDetector as they become final, the detector's
+ * per-proc clocks and per-sync-location release clocks carry happens-
+ * before state across window boundaries, and the trace owner retires the
+ * consumed prefix with ExecutionTrace::popFront() so resident memory
+ * stays O(window) while the verdict stays byte-identical to the
+ * whole-trace oracle.
+ *
+ * Two feeding disciplines:
+ *  - onAccess(): the caller guarantees it emits a linear extension of
+ *    (po U so) — true for the replay engine and the idealized
+ *    interpreter, whose execution order is such an extension by
+ *    construction.
+ *  - drainWindow(): for simulator traces, where trace order is issue
+ *    order and synchronization operations may commit out of issue order.
+ *    The drain admits only accesses that are final (commit and gp ticks
+ *    patched) and safely below every still-pending commit, then feeds
+ *    each batch in a local topological order of (po U so). See the
+ *    implementation notes for the admission horizon.
+ */
+
+#ifndef WO_CORE_STREAM_CHECKER_HH
+#define WO_CORE_STREAM_CHECKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/race_detector.hh"
+#include "core/trace.hh"
+#include "sim/types.hh"
+
+namespace wo {
+
+class StreamingDrf0Checker
+{
+  public:
+    /** @p mode FirstRace keeps per-address state to FastTrack epochs —
+     * O(addrs * procs) memory regardless of trace length, the scale mode.
+     * AllRaces reproduces the oracle's full race set (per-address history
+     * grows with conflicting accesses; differential testing only). */
+    explicit StreamingDrf0Checker(
+        int numProcs, RaceDetectMode mode = RaceDetectMode::FirstRace);
+
+    /** Forget all state for a fresh trace. */
+    void reset(int numProcs);
+
+    /**
+     * Feed the next access of a stream that is already a linear extension
+     * of (po U so). Ids must arrive densely ascending from 0 (or from the
+     * id after the last reset). Advances the retirement frontier.
+     */
+    void onAccess(const Access &a);
+
+    /**
+     * Consume every resident access of @p trace that is safe to order
+     * now, given that simulation has advanced to @p now and every
+     * commit/gp tick at or beyond @p now is still unknown. Feeds the
+     * admitted batch in a topological order of its (po U so) edges.
+     * Returns the number of accesses fed.
+     */
+    int drainWindow(const ExecutionTrace &trace, Tick now);
+
+    /** Number of oldest resident accesses of @p trace already consumed —
+     * the prefix the owner may ExecutionTrace::popFront() right now. */
+    int retireReady(const ExecutionTrace &trace) const;
+
+    /**
+     * Consume everything still resident and unfed (end of run: all ticks
+     * final). Accesses that never committed sort after every committed
+     * one, matching the whole-trace oracle's syncsAt order. Sets
+     * hbCyclic() instead of ordering if the leftover (po U so) edges are
+     * cyclic (impossible for machine traces, constructible artificially).
+     */
+    void finish(const ExecutionTrace &trace);
+
+    bool raceFree() const { return det_.races().empty(); }
+
+    /** Races in detection order (pairs of stable trace ids). */
+    const std::vector<Race> &races() const { return det_.races(); }
+
+    /** Races sorted by id pair — the stable form for differential
+     * comparison against the whole-trace oracle (whose addr-major order
+     * needs retired accesses to recompute). */
+    std::vector<Race> sortedRaces() const;
+
+    bool hbCyclic() const { return hb_cyclic_; }
+
+    /** First trace id not yet consumed. */
+    int frontier() const { return next_; }
+
+    /** Accesses consumed since construction/reset. */
+    std::uint64_t consumed() const { return det_.accessesSeen(); }
+
+    RaceDetectMode mode() const { return det_.mode(); }
+
+  private:
+    bool isFed(int id) const;
+    void markFed(int id);
+    /** Feed @p batch (resident trace ids, ascending) in a topological
+     * order of its internal (po U so) edges. Returns false on a cycle. */
+    bool feedTopo(const ExecutionTrace &trace, const std::vector<int> &batch);
+
+    RaceDetector det_;
+    int nprocs_ = 0;
+    int next_ = 0;              ///< ids below this are all consumed
+    std::vector<int> fedAhead_; ///< consumed ids >= next_, ascending
+    bool hb_cyclic_ = false;
+};
+
+} // namespace wo
+
+#endif // WO_CORE_STREAM_CHECKER_HH

@@ -9,12 +9,24 @@ namespace wo {
 
 namespace {
 const std::vector<int> kNoIds;
+
+/** Erase every id below @p firstLive from an ascending id list. Returns
+ * true if anything was removed. */
+bool
+prunePrefix(std::vector<int> &ids, int firstLive)
+{
+    auto cut = std::lower_bound(ids.begin(), ids.end(), firstLive);
+    if (cut == ids.begin())
+        return false;
+    ids.erase(ids.begin(), cut);
+    return true;
+}
 } // namespace
 
 int
 ExecutionTrace::add(Access a)
 {
-    a.id = static_cast<int>(accesses_.size());
+    a.id = base_ + static_cast<int>(accesses_.size());
     if (a.proc >= 0) {
         if (static_cast<std::size_t>(a.proc) >= byProc_.size())
             byProc_.resize(static_cast<std::size_t>(a.proc) + 1);
@@ -28,6 +40,8 @@ ExecutionTrace::add(Access a)
         si.dirty = true;
     }
     accesses_.push_back(a);
+    if (static_cast<int>(accesses_.size()) > high_water_)
+        high_water_ = static_cast<int>(accesses_.size());
     return a.id;
 }
 
@@ -62,12 +76,38 @@ ExecutionTrace::popLast()
 }
 
 void
+ExecutionTrace::popFront(int n)
+{
+    assert(n >= 0 && n <= static_cast<int>(accesses_.size()));
+    if (n == 0)
+        return;
+    base_ += n;
+    accesses_.erase(accesses_.begin(), accesses_.begin() + n);
+    // The append-order id lists are ascending, so retirement is a prefix
+    // erase; the sorted views are rebuilt lazily on next query.
+    for (IndexList &pi : byProc_) {
+        if (prunePrefix(pi.ids, base_))
+            pi.dirty = true;
+    }
+    for (auto it = syncs_.begin(); it != syncs_.end();) {
+        if (prunePrefix(it->second.ids, base_))
+            it->second.dirty = true;
+        if (it->second.ids.empty())
+            it = syncs_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
 ExecutionTrace::clear()
 {
     accesses_.clear();
     initials_.clear();
     byProc_.clear();
     syncs_.clear();
+    base_ = 0;
+    high_water_ = 0;
 }
 
 const std::vector<int> &
@@ -79,8 +119,8 @@ ExecutionTrace::accessesOf(ProcId proc) const
     if (pi.dirty) {
         pi.sorted = pi.ids;
         auto lt = [this](int x, int y) {
-            const Access &ax = accesses_[static_cast<std::size_t>(x)];
-            const Access &ay = accesses_[static_cast<std::size_t>(y)];
+            const Access &ax = accesses_[static_cast<std::size_t>(x - base_)];
+            const Access &ay = accesses_[static_cast<std::size_t>(y - base_)];
             if (ax.poIndex != ay.poIndex)
                 return ax.poIndex < ay.poIndex;
             return x < y;
@@ -102,8 +142,8 @@ ExecutionTrace::syncsAt(Addr addr) const
     if (si.dirty) {
         si.sorted = si.ids;
         auto lt = [this](int x, int y) {
-            const Access &ax = accesses_[static_cast<std::size_t>(x)];
-            const Access &ay = accesses_[static_cast<std::size_t>(y)];
+            const Access &ax = accesses_[static_cast<std::size_t>(x - base_)];
+            const Access &ay = accesses_[static_cast<std::size_t>(y - base_)];
             if (ax.commitTick != ay.commitTick)
                 return ax.commitTick < ay.commitTick;
             return x < y;

@@ -7,6 +7,7 @@
 #ifndef WO_CORE_TRACE_HH
 #define WO_CORE_TRACE_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -26,9 +27,17 @@ namespace wo {
  * hypothetical initializing write + synchronization preamble.
  *
  * Per-processor and per-sync-location id indices are maintained
- * incrementally by add()/popLast(), so the happens-before machinery's
- * accessesOf()/syncsAt() queries return cached const references instead
- * of scanning and copying the trace on every call.
+ * incrementally by add()/popLast()/popFront(), so the happens-before
+ * machinery's accessesOf()/syncsAt() queries return cached const references
+ * instead of scanning and copying the trace on every call.
+ *
+ * Windowed retention: popFront() retires the oldest accesses so only a
+ * sliding window stays resident. Trace ids are stable — they keep naming
+ * the same access after retirement — but at()/mutableAt() may only be
+ * called for ids in [firstId(), size()). The invariant
+ * retired() + resident() == size() holds at all times, and
+ * windowHighWater() records the largest resident population ever reached,
+ * so bounded-retention behaviour is observable.
  */
 class ExecutionTrace
 {
@@ -41,42 +50,71 @@ class ExecutionTrace
     /** Pre-size storage for @p n accesses (hot recording loops). */
     void reserve(int n);
 
-    /** Number of accesses. */
-    int size() const { return static_cast<int>(accesses_.size()); }
+    /** One past the largest trace id ever assigned. Equals the number of
+     * accesses when nothing has been retired (the common, whole-trace
+     * case), so full-trace callers iterate ids in [0, size()) unchanged. */
+    int size() const { return base_ + static_cast<int>(accesses_.size()); }
 
-    /** Access by trace id. */
-    const Access &at(int id) const { return accesses_.at(id); }
+    /** Smallest trace id still resident (0 until popFront is used). */
+    int firstId() const { return base_; }
 
-    /** Mutable access (the simulator patches gp times in later). */
-    Access &mutableAt(int id) { return accesses_.at(id); }
+    /** Number of accesses currently resident in the window. */
+    int resident() const { return static_cast<int>(accesses_.size()); }
 
-    /** All accesses. */
+    /** Number of accesses retired by popFront() since the last clear(). */
+    std::int64_t retired() const { return base_; }
+
+    /** Largest resident population ever reached since the last clear(). */
+    int windowHighWater() const { return high_water_; }
+
+    /** Access by trace id (must be >= firstId()). */
+    const Access &at(int id) const
+    {
+        return accesses_.at(static_cast<std::size_t>(id - base_));
+    }
+
+    /** Mutable access (the simulator patches gp times in later). The id
+     * must still be resident: the replay drain only retires accesses whose
+     * commit/gp ticks are final. */
+    Access &mutableAt(int id)
+    {
+        return accesses_.at(static_cast<std::size_t>(id - base_));
+    }
+
+    /** All resident accesses, oldest first. */
     const std::vector<Access> &accesses() const { return accesses_; }
 
     /** Remove the most recently added access (backtracking support). */
     void popLast();
 
-    /** Drop every access, index and initial value, keeping allocated
-     * capacity where the containers allow (System reuse). */
+    /** Retire the @p n oldest resident accesses. Their ids remain
+     * assigned (size() does not shrink) but they can no longer be
+     * inspected; per-proc and per-sync index caches are pruned and
+     * invalidated. */
+    void popFront(int n);
+
+    /** Drop every access, index, initial value and retention counter,
+     * keeping allocated capacity where the containers allow (System
+     * reuse). */
     void clear();
 
     /** Number of processors appearing in the trace. */
     int numProcs() const { return static_cast<int>(byProc_.size()); }
 
-    /** Trace ids of @p proc's accesses, sorted by program order. The
-     * reference is valid until the next add()/popLast(). */
+    /** Trace ids of @p proc's resident accesses, sorted by program order.
+     * The reference is valid until the next add()/popLast()/popFront(). */
     const std::vector<int> &accessesOf(ProcId proc) const;
 
-    /** Trace ids of synchronization accesses to @p addr, sorted by commit
-     * time (ties broken by trace order). The reference is valid until the
-     * next add()/popLast(). */
+    /** Trace ids of resident synchronization accesses to @p addr, sorted
+     * by commit time (ties broken by trace order). The reference is valid
+     * until the next add()/popLast()/popFront(). */
     const std::vector<int> &syncsAt(Addr addr) const;
 
-    /** Distinct addresses appearing in the trace. */
+    /** Distinct addresses appearing in the resident window. */
     std::vector<Addr> addrs() const;
 
-    /** Distinct addresses with at least one synchronization access,
-     * ascending. */
+    /** Distinct addresses with at least one resident synchronization
+     * access, ascending. */
     std::vector<Addr> syncAddrs() const;
 
     /** Set the initial value of a location. */
@@ -88,7 +126,7 @@ class ExecutionTrace
     /** All explicitly-set initial values. */
     const std::map<Addr, Word> &initials() const { return initials_; }
 
-    /** Multi-line dump for debugging and reports. */
+    /** Multi-line dump for debugging and reports (resident window only). */
     std::string toString() const;
 
   private:
@@ -104,6 +142,8 @@ class ExecutionTrace
     std::map<Addr, Word> initials_;
     std::vector<IndexList> byProc_;
     std::map<Addr, IndexList> syncs_;
+    int base_ = 0;       ///< first resident id == number retired
+    int high_water_ = 0; ///< max resident() ever reached
 };
 
 /**

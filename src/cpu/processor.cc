@@ -185,6 +185,14 @@ Processor::emitOpEvent(TraceKind kind, const OpRecord &rec,
     ev.addr = rec.addr;
     ev.opId = id;
     ev.detail = accessKindTag(rec.kind);
+    if (trace_ && rec.traceId >= 0 && rec.traceId >= trace_->firstId()) {
+        // Carry the access values so sinks can reconstruct replayable
+        // traces: `value` is the written value (known from issue),
+        // `aux` the read value (bound at commit, 0 before).
+        const Access &a = trace_->at(rec.traceId);
+        ev.value = a.valueWritten;
+        ev.aux = static_cast<std::int64_t>(a.valueRead);
+    }
     sink_->record(ev);
 }
 

@@ -406,6 +406,18 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
                         continue;
                     for (const auto &[key, count] : cell.histogram)
                         seen.insert(key);
+                    // Per-machine slice: which allowed outcomes this
+                    // variant itself produced.
+                    MachineCoverage mc;
+                    mc.variant = cell.variant;
+                    for (const std::string &key :
+                         allowed_keys[model->name()]) {
+                        if (cell.histogram.count(key))
+                            mc.observed.push_back(key);
+                        else
+                            mc.unobserved.push_back(key);
+                    }
+                    cov.machines.push_back(std::move(mc));
                 }
                 for (const std::string &key :
                      allowed_keys[model->name()]) {
@@ -501,6 +513,29 @@ printReport(std::ostream &os, const CorpusReport &report, bool histograms,
                         os << " {" << key << "}";
                 }
                 os << "\n";
+                for (const MachineCoverage &mc : cov.machines) {
+                    os << "     " << std::left << std::setw(9)
+                       << mc.variant << std::right << mc.observed.size()
+                       << "/"
+                       << (mc.observed.size() + mc.unobserved.size());
+                    // Flag only the gaps a sibling machine closed: an
+                    // outcome nobody produced is already reported on
+                    // the aggregate line above.
+                    std::vector<std::string> lag;
+                    for (const std::string &key : mc.unobserved) {
+                        bool somewhere = false;
+                        for (const std::string &o : cov.observed)
+                            somewhere = somewhere || o == key;
+                        if (somewhere)
+                            lag.push_back(key);
+                    }
+                    if (!lag.empty()) {
+                        os << "; missing here:";
+                        for (const std::string &key : lag)
+                            os << " {" << key << "}";
+                    }
+                    os << "\n";
+                }
             }
         }
         os << "   " << (tr.pass ? "PASS" : "FAIL") << "\n";
@@ -568,6 +603,22 @@ writeJsonReport(std::ostream &os, const CorpusReport &report)
                 os << (k ? ", " : "") << "\""
                    << jsonEscape(cov.unobserved[k]) << "\"";
             }
+            os << "], \"machines\": [";
+            for (std::size_t m = 0; m < cov.machines.size(); ++m) {
+                const MachineCoverage &mc = cov.machines[m];
+                os << (m ? ", " : "") << "{\"variant\": \""
+                   << jsonEscape(mc.variant) << "\", \"observed\": [";
+                for (std::size_t k = 0; k < mc.observed.size(); ++k) {
+                    os << (k ? ", " : "") << "\""
+                       << jsonEscape(mc.observed[k]) << "\"";
+                }
+                os << "], \"unobserved\": [";
+                for (std::size_t k = 0; k < mc.unobserved.size(); ++k) {
+                    os << (k ? ", " : "") << "\""
+                       << jsonEscape(mc.unobserved[k]) << "\"";
+                }
+                os << "]}";
+            }
             os << "]}";
         }
         os << "]},\n";
@@ -613,6 +664,52 @@ writeJsonReport(std::ostream &os, const CorpusReport &report)
     os << "  \"stats\": ";
     report.stats.dumpJson(os, "", 2);
     os << "\n}\n";
+}
+
+void
+writeCoverageReport(std::ostream &os, const CorpusReport &report)
+{
+    auto keys = [&os](const std::vector<std::string> &v) {
+        os << "[";
+        for (std::size_t k = 0; k < v.size(); ++k)
+            os << (k ? ", " : "") << "\"" << jsonEscape(v[k]) << "\"";
+        os << "]";
+    };
+    os << "{\n";
+    os << "  \"seeds\": " << report.seeds << ",\n";
+    os << "  \"baseSeed\": " << report.baseSeed << ",\n";
+    os << "  \"tests\": [\n";
+    for (std::size_t t = 0; t < report.tests.size(); ++t) {
+        const TestReport &tr = report.tests[t];
+        os << "    {\"name\": \"" << jsonEscape(tr.name)
+           << "\", \"file\": \"" << jsonEscape(tr.file)
+           << "\", \"coverage\": [\n";
+        for (std::size_t i = 0; i < tr.coverage.size(); ++i) {
+            const PolicyCoverage &cov = tr.coverage[i];
+            os << "      {\"policy\": \"" << toString(cov.policy)
+               << "\", \"model\": \"" << jsonEscape(cov.model)
+               << "\",\n       \"observed\": ";
+            keys(cov.observed);
+            os << ", \"unobserved\": ";
+            keys(cov.unobserved);
+            os << ",\n       \"machines\": [";
+            for (std::size_t m = 0; m < cov.machines.size(); ++m) {
+                const MachineCoverage &mc = cov.machines[m];
+                os << (m ? ",\n         " : "\n         ")
+                   << "{\"variant\": \"" << jsonEscape(mc.variant)
+                   << "\", \"observed\": ";
+                keys(mc.observed);
+                os << ", \"unobserved\": ";
+                keys(mc.unobserved);
+                os << "}";
+            }
+            os << (cov.machines.empty() ? "]}" : "\n       ]}")
+               << (i + 1 < tr.coverage.size() ? "," : "") << "\n";
+        }
+        os << "    ]}" << (t + 1 < report.tests.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n}\n";
 }
 
 } // namespace litmus_dsl

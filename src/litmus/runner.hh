@@ -155,6 +155,17 @@ struct ModelAllowedReport
     std::vector<std::string> outcomes; ///< sorted outcome keys
 };
 
+/** Observed vs allowed outcomes of one policy on one machine variant.
+ * An outcome unobserved on a machine but observed on a sibling points
+ * at that machine (topology, buffering), not at the policy. */
+struct MachineCoverage
+{
+    std::string variant; ///< machine-registry name
+
+    std::vector<std::string> observed;   ///< allowed and seen here
+    std::vector<std::string> unobserved; ///< allowed, never seen here
+};
+
 /** Observed vs allowed outcomes of one policy over all its variants. */
 struct PolicyCoverage
 {
@@ -163,6 +174,9 @@ struct PolicyCoverage
 
     std::vector<std::string> observed;   ///< allowed and seen
     std::vector<std::string> unobserved; ///< allowed, never seen
+
+    /** Per-machine breakdown, cell order (union equals the aggregate). */
+    std::vector<MachineCoverage> machines;
 };
 
 /** Aggregate of one test over the whole fan. */
@@ -220,6 +234,13 @@ void printReport(std::ostream &os, const CorpusReport &report,
 
 /** Machine-readable JSON report (stable key order). */
 void writeJsonReport(std::ostream &os, const CorpusReport &report);
+
+/** Standing coverage report (stable key order): per test x policy, the
+ * model-allowed outcomes split into observed/unobserved, with the
+ * per-machine breakdown. This is the artifact wo-litmus
+ * --coverage-report=FILE tracks across runs — a diff shows outcomes a
+ * machine gained or lost the ability to produce. */
+void writeCoverageReport(std::ostream &os, const CorpusReport &report);
 
 } // namespace litmus_dsl
 } // namespace wo

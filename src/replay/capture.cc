@@ -1,0 +1,173 @@
+#include "replay/capture.hh"
+
+#include <cstring>
+
+namespace wo {
+
+namespace {
+
+std::uint64_t
+pendKey(ProcId proc, std::uint64_t opId)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(proc))
+            << 32) ^
+           opId;
+}
+
+/** Append a flag-wait gate, collapsing into an immediately preceding
+ * gate at the same address (spin iterations of one wait). Returns the
+ * record's index. */
+std::size_t
+appendGate(std::vector<ReplayRecord> &out, Addr addr, Word valueRead)
+{
+    if (!out.empty() && out.back().op == ReplayOp::SyncRead &&
+        out.back().addr == addr) {
+        out.back().value = valueRead;
+        return out.size() - 1;
+    }
+    out.push_back({ReplayOp::SyncRead, addr, valueRead});
+    return out.size() - 1;
+}
+
+AccessKind
+kindFromTag(const char *tag)
+{
+    if (std::strcmp(tag, "data_read") == 0)
+        return AccessKind::DataRead;
+    if (std::strcmp(tag, "data_write") == 0)
+        return AccessKind::DataWrite;
+    if (std::strcmp(tag, "sync_read") == 0)
+        return AccessKind::SyncRead;
+    if (std::strcmp(tag, "sync_write") == 0)
+        return AccessKind::SyncWrite;
+    return AccessKind::SyncRmw;
+}
+
+} // namespace
+
+ReplayCaptureSink::ReplayCaptureSink(int numThreads)
+{
+    data_.threads.assign(static_cast<std::size_t>(numThreads), {});
+}
+
+void
+ReplayCaptureSink::record(const TraceEvent &ev)
+{
+    if (ev.comp != TraceComp::Proc || ev.proc < 0 ||
+        static_cast<std::size_t>(ev.proc) >= data_.threads.size())
+        return;
+    auto &out = data_.threads[static_cast<std::size_t>(ev.proc)];
+    switch (ev.kind) {
+    case TraceKind::Issue: {
+        // Program-order capture point for ordinary operations.
+        if (!ev.detail)
+            return;
+        switch (kindFromTag(ev.detail)) {
+        case AccessKind::DataRead:
+            out.push_back({ReplayOp::Read, ev.addr, 0});
+            break;
+        case AccessKind::DataWrite:
+            out.push_back({ReplayOp::Write, ev.addr, ev.value});
+            break;
+        case AccessKind::SyncRead:
+            // Flag wait: spin iterations collapse into one gate whose
+            // value is patched to the last observed read at commit.
+            pending_[pendKey(ev.proc, ev.opId)] = {
+                ev.proc, appendGate(out, ev.addr, 0), false};
+            break;
+        case AccessKind::SyncWrite:
+            out.push_back({ReplayOp::SyncWrite, ev.addr, ev.value});
+            break;
+        case AccessKind::SyncRmw:
+            // Test-and-set: a lock-episode acquire. Failed attempts
+            // (read value == written value, no state change) are
+            // deleted once the read value commits.
+            out.push_back({ReplayOp::LockAcquire, ev.addr, ev.value});
+            pending_[pendKey(ev.proc, ev.opId)] = {ev.proc,
+                                                   out.size() - 1, true};
+            break;
+        }
+        break;
+    }
+    case TraceKind::Commit: {
+        // Bind the read value observed by the recorded run.
+        auto it = pending_.find(pendKey(ev.proc, ev.opId));
+        if (it == pending_.end())
+            break;
+        const Pending p = it->second;
+        pending_.erase(it);
+        if (p.index >= out.size())
+            break;
+        if (!p.rmw) {
+            out[p.index].value = static_cast<Word>(ev.aux);
+            break;
+        }
+        if (static_cast<Word>(ev.aux) == out[p.index].value) {
+            // Failed test-and-set: replaying it would spin on a value
+            // the replay may never revisit; the successful acquire
+            // that follows carries its happens-before edges.
+            out.erase(out.begin() + static_cast<long>(p.index));
+            for (auto &[key, q] : pending_) {
+                if (q.proc == p.proc && q.index > p.index)
+                    --q.index;
+            }
+        }
+        break;
+    }
+    case TraceKind::WbInsert:
+        // Buffered writes never get a Commit event; capture at insert.
+        out.push_back({ReplayOp::Write, ev.addr, ev.value});
+        break;
+    case TraceKind::WbForward:
+        out.push_back({ReplayOp::Read, ev.addr, 0});
+        break;
+    default:
+        break;
+    }
+}
+
+void
+ReplayCaptureSink::clear()
+{
+    for (auto &t : data_.threads)
+        t.clear();
+    data_.initials.clear();
+    pending_.clear();
+}
+
+ReplayTraceData
+captureReplayTrace(const ExecutionTrace &trace)
+{
+    ReplayTraceData out;
+    out.initials.assign(trace.initials().begin(), trace.initials().end());
+    out.threads.assign(static_cast<std::size_t>(trace.numProcs()), {});
+    for (ProcId p = 0; p < trace.numProcs(); ++p) {
+        auto &vec = out.threads[static_cast<std::size_t>(p)];
+        for (int id : trace.accessesOf(p)) {
+            const Access &a = trace.at(id);
+            switch (a.kind) {
+            case AccessKind::DataRead:
+                vec.push_back({ReplayOp::Read, a.addr, 0});
+                break;
+            case AccessKind::DataWrite:
+                vec.push_back({ReplayOp::Write, a.addr, a.valueWritten});
+                break;
+            case AccessKind::SyncRead:
+                appendGate(vec, a.addr, a.valueRead);
+                break;
+            case AccessKind::SyncWrite:
+                vec.push_back({ReplayOp::SyncWrite, a.addr,
+                               a.valueWritten});
+                break;
+            case AccessKind::SyncRmw:
+                if (a.valueRead != a.valueWritten)
+                    vec.push_back({ReplayOp::LockAcquire, a.addr,
+                                   a.valueWritten});
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace wo

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Recording side of the replay pipeline: turn a live simulation (or a
+ * finished ExecutionTrace) into a replayable trace file.
+ *
+ * ReplayCaptureSink is a TraceSink — the PR-5 obs layer's writer hook.
+ * Attach it to a System (SystemConfig::traceSink) and every processor
+ * operation is captured in program order as a ReplayRecord:
+ *
+ *  - data reads/writes map to Read/Write;
+ *  - a sync read becomes a SyncRead flag-wait gate on the last value the
+ *    recorded run observed; consecutive spin iterations of one wait
+ *    collapse into a single gate (re-synchronization, not spin replay —
+ *    gating on every transient value the spin saw could deadlock a
+ *    replay that never revisits it);
+ *  - a sync rmw is a test-and-set lock acquire and maps to LockAcquire
+ *    (the canonical 0/1 lock episode); failed attempts — read value
+ *    equal to the written value, no state change — are dropped, since
+ *    the successful acquire that follows carries their happens-before
+ *    edges through the same location's release clock;
+ *  - write-buffer inserts and forwards are captured at their program-
+ *    order position.
+ *
+ * Records are appended at issue (program order) and read-values are
+ * bound at commit, so the capture is only complete for runs that
+ * finished. save with saveReplayTrace() / ReplayTraceWriter.
+ */
+
+#ifndef WO_REPLAY_CAPTURE_HH
+#define WO_REPLAY_CAPTURE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/trace.hh"
+#include "obs/trace_sink.hh"
+#include "replay/trace_format.hh"
+
+namespace wo {
+
+class ReplayCaptureSink : public TraceSink
+{
+  public:
+    explicit ReplayCaptureSink(int numThreads);
+
+    void record(const TraceEvent &ev) override;
+
+    /** The captured trace (complete once the run finished). Initial
+     * values are not visible to the sink — callers add them (e.g. from
+     * MultiProgram::initials()). */
+    const ReplayTraceData &data() const { return data_; }
+    ReplayTraceData &data() { return data_; }
+
+    /** Forget everything for a fresh run. */
+    void clear();
+
+  private:
+    /** One in-flight operation awaiting its commit-time read value. */
+    struct Pending
+    {
+        ProcId proc;
+        std::size_t index; ///< record position within the thread
+        bool rmw;          ///< test-and-set: deleted at commit if failed
+    };
+
+    ReplayTraceData data_;
+    std::unordered_map<std::uint64_t, Pending> pending_;
+};
+
+/** Offline variant: convert a finished whole ExecutionTrace (idealized
+ * or simulator) into a replayable trace, with the same spin-collapsing
+ * and failed-test-and-set elision as the live sink. Copies the trace's
+ * initial values. */
+ReplayTraceData captureReplayTrace(const ExecutionTrace &trace);
+
+} // namespace wo
+
+#endif // WO_REPLAY_CAPTURE_HH

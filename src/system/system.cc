@@ -215,13 +215,37 @@ System::setTraceSink(TraceSink *sink)
 bool
 System::run()
 {
+    return runStreaming(0, nullptr);
+}
+
+bool
+System::runStreaming(Tick chunkTicks,
+                     const std::function<void(System &)> &onChunk)
+{
     if (!loaded_)
         throw std::logic_error(
             "System::run: no program loaded since reset (call "
             "loadProgram first)");
     for (auto &p : procs_)
         p->start();
-    bool drained = eq_.run(cfg_.maxTicks);
+    bool drained;
+    if (chunkTicks == 0) {
+        drained = eq_.run(cfg_.maxTicks);
+    } else {
+        // eq_.run(stop) returns false with the queue intact once the
+        // next event lies beyond `stop` — exactly a chunk boundary.
+        Tick stop = chunkTicks;
+        while (true) {
+            drained = eq_.run(std::min(stop, cfg_.maxTicks));
+            if (drained || stop >= cfg_.maxTicks)
+                break;
+            if (onChunk)
+                onChunk(*this);
+            stop += chunkTicks;
+        }
+    }
+    if (onChunk)
+        onChunk(*this);
     bool ok = drained;
     for (auto &p : procs_) {
         if (!p->halted() || !p->quiescent())
@@ -235,6 +259,14 @@ System::run()
         p->finalizeObs();
     stats_.set("system.finish_tick", finishTick());
     stats_.set("system.completed", ok ? 1 : 0);
+    if (trace_.retired() > 0) {
+        // Bounded retention was used: make it observable. Whole-trace
+        // runs never emit these, keeping their reports byte-identical.
+        stats_.set("system.trace_events_retired",
+                   static_cast<std::uint64_t>(trace_.retired()));
+        stats_.maxOf("system.window_high_water",
+                     static_cast<std::uint64_t>(trace_.windowHighWater()));
+    }
     return ok;
 }
 

@@ -12,6 +12,7 @@
 #ifndef WO_SYSTEM_SYSTEM_HH
 #define WO_SYSTEM_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -83,6 +84,26 @@ class System
      *         the protocol drained before the tick limit.
      */
     bool run();
+
+    /**
+     * Run to completion in tick-bounded chunks, invoking @p onChunk
+     * between chunks (and once after the final one). The callback may
+     * inspect the event queue's current tick and retire the finalized
+     * trace prefix through mutableTrace() — the trace-replay pipeline's
+     * hook for keeping resident trace memory O(window) during a run.
+     * With @p chunkTicks == 0 this is exactly run().
+     *
+     * @return true if every processor halted, every access completed and
+     *         the protocol drained before the tick limit.
+     */
+    bool runStreaming(Tick chunkTicks,
+                      const std::function<void(System &)> &onChunk);
+
+    /** Mutable trace access for windowed retention (popFront) by the
+     * streaming-run callback. Retiring accesses that are not yet
+     * globally performed is a caller bug: the simulator still patches
+     * their commit/gp ticks in place. */
+    ExecutionTrace &mutableTrace() { return trace_; }
 
     /**
      * Restore construction-time state for reuse under @p cfg, which must

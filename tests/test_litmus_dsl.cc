@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -342,20 +344,75 @@ TEST(LitmusRunner, ReportsAreIdenticalAcrossThreadCounts)
     opt.drf0Schedules = 40;
     opt.policies = {PolicyKind::Sc, PolicyKind::Relaxed};
 
-    std::string out[2], json[2];
+    std::string out[2], json[2], cov[2];
     int threads[2] = {1, 4};
     for (int i = 0; i < 2; ++i) {
         opt.threads = threads[i];
         CorpusReport rep = runCorpus(corpus, opt);
-        std::ostringstream os, js;
-        printReport(os, rep, /*histograms=*/true);
+        std::ostringstream os, js, cs;
+        printReport(os, rep, /*histograms=*/true, /*coverage=*/true);
         writeJsonReport(js, rep);
+        writeCoverageReport(cs, rep);
         out[i] = os.str();
         json[i] = js.str();
+        cov[i] = cs.str();
     }
     EXPECT_EQ(out[0], out[1]);
     EXPECT_EQ(json[0], json[1]);
+    EXPECT_EQ(cov[0], cov[1]);
     EXPECT_NE(out[0].find("sb"), std::string::npos);
+}
+
+TEST(LitmusRunner, CoverageBreaksDownPerMachine)
+{
+    std::vector<CompiledLitmus> corpus;
+    corpus.push_back(compileLitmus(parseLitmus(
+        "name sb\ninit { x = 0; y = 0; }\n"
+        "P0 | P1 ;\n"
+        "store x, 1 | store y, 1 ;\n"
+        "load r0, y | load r0, x ;\n"
+        "halt | halt ;\n"
+        "exists (P0:r0 == 0 && P1:r0 == 0)\n",
+        "sb.litmus")));
+
+    RunnerOptions opt;
+    opt.seeds = 4;
+    opt.threads = 2;
+    opt.drf0Schedules = 40;
+    opt.policies = {PolicyKind::Sc, PolicyKind::Relaxed};
+
+    CorpusReport rep = runCorpus(corpus, opt);
+    ASSERT_EQ(rep.tests.size(), 1u);
+    const TestReport &tr = rep.tests[0];
+    ASSERT_TRUE(tr.axiomChecked);
+    ASSERT_EQ(tr.coverage.size(), 2u);
+
+    std::size_t machine_count = defaultMachines().size();
+    for (const PolicyCoverage &pc : tr.coverage) {
+        ASSERT_EQ(pc.machines.size(), machine_count);
+        std::size_t allowed =
+            pc.observed.size() + pc.unobserved.size();
+        std::set<std::string> union_observed;
+        for (const MachineCoverage &mc : pc.machines) {
+            // Every machine slice partitions the same allowed set.
+            EXPECT_EQ(mc.observed.size() + mc.unobserved.size(),
+                      allowed);
+            union_observed.insert(mc.observed.begin(),
+                                  mc.observed.end());
+        }
+        // The aggregate observed set is exactly the per-machine union.
+        EXPECT_EQ(union_observed,
+                  std::set<std::string>(pc.observed.begin(),
+                                        pc.observed.end()));
+    }
+
+    std::ostringstream cs;
+    writeCoverageReport(cs, rep);
+    const std::string doc = cs.str();
+    EXPECT_NE(doc.find("\"machines\""), std::string::npos);
+    EXPECT_NE(doc.find("\"variant\": \"bus\""), std::string::npos);
+    EXPECT_NE(doc.find("\"variant\": \"net\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"sb\""), std::string::npos);
 }
 
 TEST(LitmusRunner, FindLitmusFilesRejectsMissingPath)
@@ -401,6 +458,30 @@ TEST(WoLitmusTool, BadUsageExitsTwo)
 {
     EXPECT_EQ(woLitmusExit("--no-such-flag"), 2);
     EXPECT_EQ(woLitmusExit(""), 2); // no corpus paths
+    EXPECT_EQ(woLitmusExit("--coverage-report="), 2); // empty file
+}
+
+TEST(WoLitmusTool, CoverageReportFileIsWritten)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string corpus = dir + "/wo_cov_mp.litmus";
+    const std::string report = dir + "/wo_cov_report.json";
+    {
+        std::ofstream out(corpus);
+        ASSERT_TRUE(out);
+        out << kMp;
+    }
+    EXPECT_EQ(woLitmusExit("--seeds=2 --coverage-report=" + report +
+                           " " + corpus),
+              0);
+    std::ifstream in(report);
+    ASSERT_TRUE(in) << "standing coverage JSON missing: " << report;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string doc = buf.str();
+    EXPECT_NE(doc.find("\"machines\""), std::string::npos);
+    EXPECT_NE(doc.find("\"variant\": \"bus\""), std::string::npos);
+    EXPECT_NE(doc.find("\"unobserved\""), std::string::npos);
 }
 #endif // WO_LITMUS_BIN
 

@@ -32,9 +32,13 @@
  *                    axiomatic model forbids (witness cycle in the
  *                    failure message)
  *   --no-axiom-check skip the axiomatic stage
- *   --coverage-report
+ *   --coverage-report[=FILE]
  *                    print per-policy observed vs allowed outcome
- *                    coverage (allowed-but-never-observed outcomes)
+ *                    coverage with the per-machine breakdown
+ *                    (allowed-but-never-observed outcomes); with =FILE,
+ *                    also write the standing coverage JSON there — a
+ *                    committed artifact whose diff across runs shows
+ *                    outcomes a machine gained or lost
  *   --no-histograms  omit outcome histograms from the text report
  *   --list           parse + compile only; list tests and exit
  *   --trace=STEM     write one Chrome-trace JSON per run, named
@@ -77,7 +81,7 @@ usage(std::ostream &os)
           "[--no-drf0-memo]\n"
           "                 [--no-pool] [--no-histograms] [--list]\n"
           "                 [--axiom-check] [--no-axiom-check]\n"
-          "                 [--coverage-report]\n"
+          "                 [--coverage-report[=FILE]]\n"
           "                 [--trace=STEM] [--trace-filter=LIST]\n"
           "                 <file-or-dir>...\n";
     return 2;
@@ -120,6 +124,7 @@ main(int argc, char **argv)
     bool histograms = true;
     bool coverage = false;
     std::string json_file;
+    std::string coverage_file;
     std::vector<std::string> paths;
     std::vector<const MachineSpec *> machines = defaultMachines();
 
@@ -178,6 +183,13 @@ main(int argc, char **argv)
             options.axiomCheck = false;
         } else if (arg == "--coverage-report") {
             coverage = true;
+        } else if (arg.rfind("--coverage-report=", 0) == 0) {
+            coverage = true;
+            coverage_file = arg.substr(18);
+            if (coverage_file.empty()) {
+                std::cerr << "wo-litmus: empty --coverage-report file\n";
+                return 2;
+            }
         } else if (arg == "--no-histograms") {
             histograms = false;
         } else if (arg == "--list") {
@@ -249,6 +261,17 @@ main(int argc, char **argv)
             writeJsonReport(out, report);
             std::cout << "json report written to " << json_file << "\n";
         }
+    }
+    if (!coverage_file.empty()) {
+        std::ofstream out(coverage_file);
+        if (!out) {
+            std::cerr << "wo-litmus: cannot write " << coverage_file
+                      << "\n";
+            return 2;
+        }
+        writeCoverageReport(out, report);
+        std::cout << "coverage report written to " << coverage_file
+                  << "\n";
     }
     return report.pass ? 0 : 1;
 }
