@@ -12,18 +12,24 @@ Cache::Cache(EventQueue &eq, Interconnect &net, StatSet &stats, NodeId node,
              NodeId dir_base, int num_dirs, const CacheConfig &cfg,
              std::string name)
     : eq_(eq), net_(net), stats_(stats), node_(node), dir_base_(dir_base),
-      num_dirs_(num_dirs), cfg_(cfg), name_(std::move(name))
+      num_dirs_(num_dirs), cfg_(cfg),
+      proto_(&CoherenceProtocol::get(cfg.protocol)), name_(std::move(name))
 {
     stat_.hits = stats_.handle(name_ + ".hits");
     stat_.misses = stats_.handle(name_ + ".misses");
     stat_.writebacks = stats_.handle(name_ + ".writebacks");
     stat_.silentDrops = stats_.handle(name_ + ".silent_drops");
+    stat_.silentUpgrades = stats_.handle(name_ + ".silent_upgrades");
+    stat_.cleanRelinquishes =
+        stats_.handle(name_ + ".clean_relinquishes");
     stat_.reserves = stats_.handle(name_ + ".reserves");
+    stalls_ = StallReasonFamily(stats_, name_ + ".miss_stalls_total");
     stat_.stalledByReserveBound =
-        stats_.handle(name_ + ".stalled_by_reserve_bound");
-    stat_.stalledByEviction = stats_.handle(name_ + ".stalled_by_eviction");
+        stalls_.addReason(name_ + ".stalled_by_reserve_bound");
+    stat_.stalledByEviction =
+        stalls_.addReason(name_ + ".stalled_by_eviction");
     stat_.stalledByMshrConflict =
-        stats_.handle(name_ + ".stalled_by_mshr_conflict");
+        stalls_.addReason(name_ + ".stalled_by_mshr_conflict");
     stat_.counterMax =
         stats_.handle(name_ + ".counter_max", StatSet::Kind::Max);
     stat_.putacks = stats_.handle(name_ + ".putacks");
@@ -50,6 +56,14 @@ Cache::emitEvent(TraceKind kind, Addr addr, std::int64_t aux,
     ev.aux = aux;
     ev.detail = detail;
     sink_->record(ev);
+}
+
+void
+Cache::traceState(Addr addr, LineState from, LineState to)
+{
+    if (sink_ && from != to)
+        emitEvent(TraceKind::StateChange, addr, 0,
+                  transitionLabel(from, to));
 }
 
 bool
@@ -169,12 +183,22 @@ Cache::makeRoomFor(Addr addr)
     if (!found)
         return false;
     Line &v = lines_[victim];
-    if (v.state == LineState::Exclusive) {
+    switch (proto_->on(v.state, LineEvent::Evict).action) {
+      case LineAction::WritebackData:
         sendToDir(MsgType::PutX, victim, v.data, false);
         stats_.inc(stat_.writebacks);
-    } else {
+        break;
+      case LineAction::RelinquishClean:
+        sendToDir(MsgType::PutE, victim, 0, false);
+        stats_.inc(stat_.cleanRelinquishes);
+        break;
+      case LineAction::DropSilent:
         stats_.inc(stat_.silentDrops);
+        break;
+      default:
+        assert(false && "unexpected eviction action");
     }
+    traceState(victim, v.state, LineState::Invalid);
     lines_.erase(victim);
     ++inflight_fills_[set];
     return true;
@@ -226,11 +250,24 @@ Cache::access(const CacheOp &op)
         l->lastUse = eq_.now();
     bool as_write = treatedAsWrite(op.kind);
 
+    // Classify against the protocol table: an absent line is Invalid.
+    const LineTransition &t =
+        proto_->on(l ? l->state : LineState::Invalid,
+                   as_write ? LineEvent::Store : LineEvent::Load);
+
     // Hits. Reads commit and are globally performed when the value is
     // bound; a write landing on a line that still awaits a write-ack for
-    // an earlier write becomes globally performed with that ack.
-    if (l && (!as_write || l->state == LineState::Exclusive)) {
+    // an earlier write becomes globally performed with that ack. A store
+    // on a clean-exclusive line upgrades silently — a hit with no
+    // coherence traffic (MESI-family E payoff).
+    if (t.action == LineAction::Hit ||
+        t.action == LineAction::SilentUpgrade) {
         stats_.inc(stat_.hits);
+        if (t.action == LineAction::SilentUpgrade) {
+            stats_.inc(stat_.silentUpgrades);
+            traceState(op.addr, l->state, t.next);
+            l->state = t.next;
+        }
         if (sink_)
             emitEvent(TraceKind::Hit, op.addr);
         bool gp_now = as_write ? !l->pendingGp : true;
@@ -245,7 +282,7 @@ Cache::access(const CacheOp &op)
     if (mshrs_.find(op.addr) != mshrs_.end()) {
         assert(false && "processor must order same-address accesses");
         stalled_ops_.push_back(op);
-        stats_.inc(stat_.stalledByMshrConflict);
+        stalls_.bump(stat_.stalledByMshrConflict);
         if (sink_)
             emitEvent(TraceKind::MissStalled, op.addr, 0, "mshr_conflict");
         return;
@@ -257,17 +294,17 @@ Cache::access(const CacheOp &op)
     if (cfg_.maxMissesWhileReserved >= 0 && anyReserved() &&
         misses_while_reserved_ >= cfg_.maxMissesWhileReserved) {
         stalled_ops_.push_back(op);
-        stats_.inc(stat_.stalledByReserveBound);
+        stalls_.bump(stat_.stalledByReserveBound);
         if (sink_)
             emitEvent(TraceKind::MissStalled, op.addr, 0, "reserve_bound");
         return;
     }
 
-    bool upgrade = l && as_write && l->state == LineState::Shared;
+    bool upgrade = t.action == LineAction::IssueUpgrade;
     if (!upgrade) {
         if (!makeRoomFor(op.addr)) {
             stalled_ops_.push_back(op);
-            stats_.inc(stat_.stalledByEviction);
+            stalls_.bump(stat_.stalledByEviction);
             if (sink_)
                 emitEvent(TraceKind::MissStalled, op.addr, 0, "eviction");
             return;
@@ -289,12 +326,18 @@ Cache::access(const CacheOp &op)
     m.seq = next_miss_seq_++;
     outstanding_miss_seqs_.insert(m.seq);
     m.op = op;
-    if (upgrade) {
+    switch (t.action) {
+      case LineAction::IssueUpgrade:
         m.sent = MsgType::Upgrade;
-    } else if (as_write) {
+        break;
+      case LineAction::IssueGetX:
         m.sent = MsgType::GetX;
-    } else {
+        break;
+      case LineAction::IssueGetS:
         m.sent = MsgType::GetS;
+        break;
+      default:
+        assert(false && "access classified neither hit nor miss");
     }
     mshrs_[op.addr] = m;
     sendToDir(m.sent, op.addr, 0, isSync(op.kind));
@@ -306,6 +349,7 @@ Cache::handle(const Msg &msg)
     WO_TRACE(eq_, name_, "recv " << msg.toString());
     switch (msg.type) {
       case MsgType::Data:
+      case MsgType::DataE:
       case MsgType::DataEx:
       case MsgType::UpgradeAck:
         handleFill(msg);
@@ -345,12 +389,16 @@ Cache::handleFill(const Msg &msg)
     switch (msg.type) {
       case MsgType::Data: {
         if (m.sent == MsgType::GetS) {
-            // Read miss completes: line arrives shared.
+            // Read miss completes: line arrives shared (Forward under
+            // MESIF — the most recent requester is the designated
+            // responder).
             Line l;
-            l.state = LineState::Shared;
+            l.state =
+                proto_->on(LineState::Invalid, LineEvent::FillShared).next;
             l.data = msg.value;
             l.lastUse = eq_.now();
             lines_[msg.addr] = l;
+            traceState(msg.addr, LineState::Invalid, l.state);
             commitOnLine(m.op, lines_[msg.addr], true);
             decrementCounter(m.seq);
         } else {
@@ -358,34 +406,55 @@ Cache::handleFill(const Msg &msg)
             // forwarded the line in parallel with invalidations. Commit
             // now; globally performed at the WriteAck.
             Line l;
-            l.state = LineState::Exclusive;
+            l.state = proto_->on(LineState::Invalid, LineEvent::FillModified)
+                          .next;
             l.data = msg.value;
             l.pendingGp = true;
             l.pendingGpMissSeq = m.seq;
             l.lastUse = eq_.now();
             lines_[msg.addr] = l;
+            traceState(msg.addr, LineState::Invalid, l.state);
             commitOnLine(m.op, lines_[msg.addr], false);
             // Counter decremented by the WriteAck.
         }
+        break;
+      }
+      case MsgType::DataE: {
+        // Clean-exclusive fill (read miss, no other copies): globally
+        // performed immediately; a later store upgrades silently.
+        Line l;
+        l.state =
+            proto_->on(LineState::Invalid, LineEvent::FillExclusive).next;
+        l.data = msg.value;
+        l.lastUse = eq_.now();
+        lines_[msg.addr] = l;
+        traceState(msg.addr, LineState::Invalid, l.state);
+        commitOnLine(m.op, lines_[msg.addr], true);
+        decrementCounter(m.seq);
         break;
       }
       case MsgType::DataEx: {
         // Exclusive data, no invalidations outstanding: commit and
         // globally performed together.
         Line l;
-        l.state = LineState::Exclusive;
+        l.state =
+            proto_->on(LineState::Invalid, LineEvent::FillModified).next;
         l.data = msg.value;
         l.lastUse = eq_.now();
         lines_[msg.addr] = l;
+        traceState(msg.addr, LineState::Invalid, l.state);
         commitOnLine(m.op, lines_[msg.addr], true);
         decrementCounter(m.seq);
         break;
       }
       case MsgType::UpgradeAck: {
         Line *l = findLine(msg.addr);
-        assert(l && l->state == LineState::Shared &&
-               "upgrade ack without a shared line");
-        l->state = LineState::Exclusive;
+        assert(l && "upgrade ack without a line");
+        // Throws if the line is not in a shared-family state.
+        LineState next =
+            proto_->on(l->state, LineEvent::UpgradeOwnership).next;
+        traceState(msg.addr, l->state, next);
+        l->state = next;
         l->lastUse = eq_.now();
         if (msg.ackCount > 0) {
             l->pendingGp = true;
@@ -408,9 +477,13 @@ Cache::handleInv(const Msg &msg)
 {
     Line *l = findLine(msg.addr);
     if (l) {
-        assert(l->state == LineState::Shared &&
-               "invalidation must target a shared copy");
+        // Throws if an owner state gets an Inv (the directory recalls
+        // owners; only shared-family copies are invalidated).
+        const LineTransition &t =
+            proto_->on(l->state, LineEvent::Invalidate);
+        assert(t.action == LineAction::AckInvalidate);
         assert(!l->reserved && "shared lines are never reserved");
+        traceState(msg.addr, l->state, t.next);
         lines_.erase(msg.addr);
         stats_.inc(stat_.invalidations);
         if (sink_)
@@ -441,8 +514,10 @@ Cache::handleInv(const Msg &msg)
 void
 Cache::handleRecall(const Msg &msg)
 {
+    LineEvent ev = msg.type == MsgType::Recall ? LineEvent::FwdGetS
+                                               : LineEvent::FwdGetX;
     Line *l = findLine(msg.addr);
-    if (!l || l->state != LineState::Exclusive) {
+    if (!l || !proto_->legal(l->state, ev)) {
         // The line was written back; the PutX is ahead of this response
         // on the FIFO channel to the directory.
         Msg nack;
@@ -469,8 +544,10 @@ Cache::handleRecall(const Msg &msg)
 void
 Cache::serviceRecall(const Msg &msg)
 {
+    LineEvent ev = msg.type == MsgType::Recall ? LineEvent::FwdGetS
+                                               : LineEvent::FwdGetX;
     Line *l = findLine(msg.addr);
-    if (!l || l->state != LineState::Exclusive) {
+    if (!l || !proto_->legal(l->state, ev)) {
         Msg nack;
         nack.type = MsgType::RecallNack;
         nack.src = node_;
@@ -481,17 +558,32 @@ Cache::serviceRecall(const Msg &msg)
     }
     assert(!l->pendingGp &&
            "directory serialization forbids recalling a non-GP line");
+    const LineTransition &t = proto_->on(l->state, ev);
     Msg resp;
     resp.src = node_;
     resp.dst = msg.src;
     resp.addr = msg.addr;
     resp.value = l->data;
-    if (msg.type == MsgType::Recall) {
-        l->state = LineState::Shared;
+    switch (t.action) {
+      case LineAction::RespondData:
+        traceState(msg.addr, l->state, t.next);
+        l->state = t.next;
         resp.type = MsgType::RecallData;
-    } else {
+        break;
+      case LineAction::RespondDataOwned:
+        // MOESI: the dirty line stays owned; sharers read the
+        // forwarded copy and this cache still writes back on eviction.
+        traceState(msg.addr, l->state, t.next);
+        l->state = t.next;
+        resp.type = MsgType::RecallDataOwned;
+        break;
+      case LineAction::RespondDataInv:
+        traceState(msg.addr, l->state, LineState::Invalid);
         lines_.erase(msg.addr);
         resp.type = MsgType::RecallInvData;
+        break;
+      default:
+        assert(false && "unexpected recall action");
     }
     stats_.inc(stat_.recallsServiced);
     if (sink_)

@@ -34,9 +34,11 @@
 #include <string>
 #include <vector>
 
+#include "coherence/protocol.hh"
 #include "cpu/isa.hh"
 #include "cpu/mem_port.hh"
 #include "mem/interconnect.hh"
+#include "obs/stall_stats.hh"
 #include "obs/trace_event.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -46,12 +48,12 @@ namespace wo {
 
 class TraceSink;
 
-/** States of a cache line (lines are one word wide). */
-enum class LineState { Shared, Exclusive };
-
 /** Configuration of one cache. */
 struct CacheConfig
 {
+    /** Coherence protocol (selects the transition table). */
+    ProtocolKind protocol = ProtocolKind::Msi;
+
     /** Number of sets; 0 models an unbounded cache (no evictions). */
     int numSets = 0;
 
@@ -161,6 +163,9 @@ class Cache : public MemPort
      * the disabled path costs one null test per potential event. */
     void setTraceSink(TraceSink *sink) { sink_ = sink; }
 
+    /** The protocol transition table this cache runs. */
+    const CoherenceProtocol &protocol() const { return *proto_; }
+
   private:
     struct Line
     {
@@ -225,6 +230,10 @@ class Cache : public MemPort
     void emitEvent(TraceKind kind, Addr addr, std::int64_t aux = 0,
                    const char *detail = nullptr);
 
+    /** Trace a protocol state transition (no-op when from == to or the
+     * sink is detached). */
+    void traceState(Addr addr, LineState from, LineState to);
+
     EventQueue &eq_;
     Interconnect &net_;
     StatSet &stats_;
@@ -232,6 +241,7 @@ class Cache : public MemPort
     NodeId dir_base_;
     int num_dirs_;
     CacheConfig cfg_;
+    const CoherenceProtocol *proto_;
     std::string name_;
     CacheClient *client_ = nullptr;
 
@@ -243,6 +253,8 @@ class Cache : public MemPort
         StatHandle misses;
         StatHandle writebacks;
         StatHandle silentDrops;
+        StatHandle silentUpgrades;
+        StatHandle cleanRelinquishes;
         StatHandle reserves;
         StatHandle stalledByReserveBound;
         StatHandle stalledByEviction;
@@ -256,6 +268,11 @@ class Cache : public MemPort
         StatHandle recallsServiced;
     };
     StatHandles stat_;
+
+    /** Miss-stall attribution: every stall reason routes through this
+     * family, so <name>.miss_stalls_total sums the stalled_by_* stats
+     * by construction. */
+    StallReasonFamily stalls_;
 
     std::map<Addr, Line> lines_;
     std::map<Addr, Mshr> mshrs_;

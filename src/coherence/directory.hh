@@ -26,6 +26,7 @@
 #include <set>
 #include <string>
 
+#include "coherence/protocol.hh"
 #include "mem/interconnect.hh"
 #include "obs/trace_event.hh"
 #include "sim/event_queue.hh"
@@ -39,6 +40,11 @@ class TraceSink;
 /** Configuration of a directory bank. */
 struct DirectoryConfig
 {
+    /** Coherence protocol; selects the grant policy (clean-exclusive
+     * fills, owned recalls, forwarder tracking) to match the caches'
+     * transition tables. */
+    ProtocolKind protocol = ProtocolKind::Msi;
+
     /** Processing latency per incoming message. */
     Tick latency = 2;
 };
@@ -70,7 +76,9 @@ class Directory
         bool known = false; ///< the directory has seen this line
         bool exclusive = false;
         bool shared = false;
+        bool owned = false; ///< MOESI: dirty at owner, sharers read
         NodeId owner = -1;
+        NodeId forwarder = -1; ///< MESIF designated responder
         std::set<NodeId> sharers;
         bool busy = false;
     };
@@ -90,19 +98,33 @@ class Directory
     void setTraceSink(TraceSink *sink) { sink_ = sink; }
 
   private:
-    enum class St { Uncached, Shared, Exclusive };
+    /**
+     * Directory-side line state. Exclusive covers a cache holding the
+     * line E or M (the directory cannot tell — MESI's E upgrades to M
+     * silently); Owned is MOESI's dirty-at-owner-with-sharers state.
+     */
+    enum class St { Uncached, Shared, Exclusive, Owned };
 
     struct Line
     {
         St st = St::Uncached;
         std::set<NodeId> sharers;
         NodeId owner = -1;
+
+        /** MESIF: the sharer designated to service the next read (-1 =
+         * none; reads are then served from memory). */
+        NodeId forwarder = -1;
+
         Word mem = 0;
 
         bool busy = false;
         Msg cur;                 ///< request being serviced
         int pendingInvAcks = 0;
         bool waitingRecall = false;
+        /** The current GetX already got its Data (commit) — only the
+         * WriteAck remains (Owned writes wait on a recall AND
+         * invalidation acks; whichever finishes last completes). */
+        bool dataSent = false;
         std::deque<Msg> waiting; ///< queued requests
     };
 
@@ -110,10 +132,16 @@ class Directory
     void startRequest(Line &line, const Msg &msg);
     void startGetS(Line &line, const Msg &msg);
     void startGetX(Line &line, const Msg &msg);
+    void startUpgradeInvs(Line &line, const Msg &msg,
+                          const std::set<NodeId> &others);
     void finishWrite(Line &line);
-    void completeRecalled(Line &line, bool owner_kept_shared_copy,
-                          NodeId responder);
+
+    /** Complete the pending request after the recalled holder kept no
+     * copy (RecallInvData, or a PutX/PutE that raced our recall). */
+    void completeRecalledOwnerGone(Line &line);
     void completeTransaction(Line &line);
+
+    const CoherenceProtocol &proto() const { return *proto_; }
 
     void reply(const Msg &req, MsgType type, Word value, int ack_count = 0);
     void sendTo(NodeId dst, MsgType type, Addr addr, Word value = 0,
@@ -129,6 +157,7 @@ class Directory
     StatSet &stats_;
     NodeId node_;
     DirectoryConfig cfg_;
+    const CoherenceProtocol *proto_;
     std::string name_;
 
     /** Interned stat handles, resolved once at construction. */
@@ -138,8 +167,11 @@ class Directory
         StatHandle queued;
         StatHandle recallNacks;
         StatHandle writebacks;
+        StatHandle cleanRelinquishes;
         StatHandle invalidations;
         StatHandle recalls;
+        StatHandle exclusiveGrants; ///< DataE clean-exclusive read fills
+        StatHandle forwardRecalls;  ///< MESIF forwarder recalls
     };
     StatHandles stat_;
 

@@ -28,7 +28,9 @@ toString(MsgType t)
       case MsgType::GetX: return "GetX";
       case MsgType::Upgrade: return "Upgrade";
       case MsgType::PutX: return "PutX";
+      case MsgType::PutE: return "PutE";
       case MsgType::Data: return "Data";
+      case MsgType::DataE: return "DataE";
       case MsgType::DataEx: return "DataEx";
       case MsgType::UpgradeAck: return "UpgradeAck";
       case MsgType::WriteAck: return "WriteAck";
@@ -37,6 +39,7 @@ toString(MsgType t)
       case MsgType::Recall: return "Recall";
       case MsgType::RecallInv: return "RecallInv";
       case MsgType::RecallData: return "RecallData";
+      case MsgType::RecallDataOwned: return "RecallDataOwned";
       case MsgType::RecallInvData: return "RecallInvData";
       case MsgType::RecallNack: return "RecallNack";
       case MsgType::PutAck: return "PutAck";

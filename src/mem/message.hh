@@ -33,9 +33,13 @@ enum class MsgType {
     GetS,       ///< cache requests a shared copy (read miss)
     GetX,       ///< cache requests an exclusive copy (write miss)
     Upgrade,    ///< sharer requests ownership without data
-    PutX,       ///< owner writes back and relinquishes an exclusive line
+    PutX,       ///< owner writes back and relinquishes a dirty line
+    PutE,       ///< holder relinquishes a clean exclusive/forward line
+                ///< (no data; keeps owner/forwarder tracking exact)
     Data,       ///< directory supplies data; for writes, invalidations of
                 ///< other copies may still be in flight (commit, not GP)
+    DataE,      ///< directory supplies data clean-exclusive (read miss,
+                ///< no other copies; MESI-family E fill)
     DataEx,     ///< directory supplies data with exclusivity and no
                 ///< outstanding invalidations (commit + globally performed)
     UpgradeAck, ///< ownership granted to an upgrading sharer; ackCount
@@ -49,6 +53,8 @@ enum class MsgType {
     RecallInv,  ///< directory asks the owner to invalidate and return data
                 ///< (servicing a remote write / sync)
     RecallData, ///< owner's response to Recall (now shared)
+    RecallDataOwned, ///< owner's response to Recall retaining ownership
+                     ///< (MOESI: the line stays dirty at the owner)
     RecallInvData, ///< owner's response to RecallInv (now invalid)
     RecallNack, ///< owner no longer holds the line (writeback raced)
     PutAck,     ///< directory acknowledges a writeback

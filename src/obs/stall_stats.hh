@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Stall-reason stat families: a set of per-reason counters plus a total
+ * that sums them BY CONSTRUCTION.
+ *
+ * Cache-level miss stalls used to be three unrelated counters
+ * (stalled_by_reserve_bound / _eviction / _mshr_conflict) with no total;
+ * any analysis summing them had to know the full reason list, and a new
+ * protocol adding a stall reason silently broke the sum. A
+ * StallReasonFamily routes every bump through one site that increments
+ * both the reason and the family total, so
+ *
+ *     <prefix>_total == sum of every reason counter
+ *
+ * is an invariant of the bump path, not a reporting convention
+ * (tests/test_protocols.cc asserts it after every run).
+ *
+ * Stat names are chosen by the component (legacy names are kept), and
+ * like all StatSet handles the counters stay invisible until first
+ * bumped — attaching a family to a component changes no report.
+ */
+
+#ifndef WO_OBS_STALL_STATS_HH
+#define WO_OBS_STALL_STATS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace wo {
+
+/** A total counter and the reason counters that feed it. */
+class StallReasonFamily
+{
+  public:
+    StallReasonFamily() = default;
+
+    /** @p total_name is the family's sum stat (e.g.
+     * "cache0.miss_stalls_total"). */
+    StallReasonFamily(StatSet &stats, const std::string &total_name)
+        : stats_(&stats), total_(stats.handle(total_name))
+    {
+    }
+
+    /** Register a reason counter under its full stat name. */
+    StatHandle
+    addReason(const std::string &name)
+    {
+        reasons_.push_back(stats_->handle(name));
+        return reasons_.back();
+    }
+
+    /** Count one stall: bumps the reason and the total together. */
+    void
+    bump(StatHandle reason)
+    {
+        stats_->inc(reason);
+        stats_->inc(total_);
+    }
+
+    /** Number of registered reasons (diagnostics). */
+    std::size_t numReasons() const { return reasons_.size(); }
+
+  private:
+    StatSet *stats_ = nullptr;
+    StatHandle total_;
+    std::vector<StatHandle> reasons_;
+};
+
+} // namespace wo
+
+#endif // WO_OBS_STALL_STATS_HH

@@ -42,6 +42,7 @@ toString(TraceKind k)
       case TraceKind::InvAcked: return "inv_acked";
       case TraceKind::RecallQueued: return "recall_queued";
       case TraceKind::RecallServiced: return "recall_serviced";
+      case TraceKind::StateChange: return "state_change";
       case TraceKind::InvSent: return "inv_sent";
       case TraceKind::WriteAckSent: return "write_ack_sent";
       case TraceKind::RecallSent: return "recall_sent";

@@ -62,6 +62,7 @@ enum class TraceKind : std::uint8_t {
     InvAcked,       ///< invalidation acknowledgement sent
     RecallQueued,   ///< recall held on a reserved line
     RecallServiced, ///< recall serviced (line downgraded / returned)
+    StateChange,    ///< protocol state transition; detail = "M->S" label
 
     // Directory.
     InvSent,      ///< invalidation sent to a sharer

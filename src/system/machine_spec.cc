@@ -14,6 +14,8 @@ MachineSpec::config(PolicyKind policy, std::uint64_t netSeed) const
     cfg.policy = policy;
     cfg.cached = cached;
     cfg.interconnect = interconnect;
+    cfg.protocol = protocol;
+    cfg.cacheLevels = cacheLevels;
     cfg.writeBuffer =
         policy == PolicyKind::Relaxed && writeBufferOnRelaxed;
     cfg.warmCaches = warmCaches;
@@ -89,6 +91,51 @@ machineRegistry()
         net_banked.numMemModules = 4;
         r.push_back(net_banked);
 
+        // Protocol variants: identical topologies to `bus` / `net-cold`
+        // but running the richer invalidation protocols.
+        auto protoVariant = [](const MachineSpec &base, std::string name,
+                               ProtocolKind proto, const char *pname) {
+            MachineSpec m = base;
+            m.name = std::move(name);
+            m.protocol = proto;
+            m.summary = std::string(pname) + " protocol variant of '" +
+                        base.name + "'";
+            return m;
+        };
+        r.push_back(protoVariant(bus, "bus-mesi", ProtocolKind::Mesi,
+                                 "MESI"));
+        r.push_back(protoVariant(bus, "bus-moesi", ProtocolKind::Moesi,
+                                 "MOESI"));
+        r.push_back(protoVariant(bus, "bus-mesif", ProtocolKind::Mesif,
+                                 "MESIF"));
+        r.push_back(protoVariant(net_cold, "net-mesi", ProtocolKind::Mesi,
+                                 "MESI"));
+        r.push_back(protoVariant(net_cold, "net-moesi",
+                                 ProtocolKind::Moesi, "MOESI"));
+        r.push_back(protoVariant(net_cold, "net-mesif",
+                                 ProtocolKind::Mesif, "MESIF"));
+
+        MachineSpec bus_l2 = bus;
+        bus_l2.name = "bus-l2";
+        bus_l2.summary = "shared-bus machine with private L2s (MSI)";
+        bus_l2.cacheLevels = 2;
+        r.push_back(bus_l2);
+
+        MachineSpec net_l2 = net_cold;
+        net_l2.name = "net-l2";
+        net_l2.summary = "network machine with private L2s (MESI)";
+        net_l2.protocol = ProtocolKind::Mesi;
+        net_l2.cacheLevels = 2;
+        r.push_back(net_l2);
+
+        MachineSpec net_l2_moesi = net_cold;
+        net_l2_moesi.name = "net-l2-moesi";
+        net_l2_moesi.summary =
+            "network machine with private L2s (MOESI)";
+        net_l2_moesi.protocol = ProtocolKind::Moesi;
+        net_l2_moesi.cacheLevels = 2;
+        r.push_back(net_l2_moesi);
+
         return r;
     }();
     return registry;
@@ -116,16 +163,61 @@ machineOrThrow(const std::string &name)
                              "' (known: " + known + ")");
 }
 
+/** Glob match: `*` any run, `?` one character, else literal. */
+static bool
+globMatch(const std::string &pat, const std::string &s, std::size_t pi = 0,
+          std::size_t si = 0)
+{
+    while (pi < pat.size()) {
+        if (pat[pi] == '*') {
+            for (std::size_t k = si; k <= s.size(); ++k) {
+                if (globMatch(pat, s, pi + 1, k))
+                    return true;
+            }
+            return false;
+        }
+        if (si >= s.size())
+            return false;
+        if (pat[pi] != '?' && pat[pi] != s[si])
+            return false;
+        ++pi;
+        ++si;
+    }
+    return si == s.size();
+}
+
 std::vector<const MachineSpec *>
 parseMachineList(const std::string &csv)
 {
     std::vector<const MachineSpec *> out;
+    auto addUnique = [&out](const MachineSpec *m) {
+        for (const MachineSpec *have : out) {
+            if (have == m)
+                return;
+        }
+        out.push_back(m);
+    };
     std::istringstream in(csv);
     std::string item;
     while (std::getline(in, item, ',')) {
         if (item.empty())
             continue;
-        out.push_back(&machineOrThrow(item));
+        if (item.find('*') == std::string::npos &&
+            item.find('?') == std::string::npos) {
+            addUnique(&machineOrThrow(item));
+            continue;
+        }
+        bool any = false;
+        for (const MachineSpec &m : machineRegistry()) {
+            if (globMatch(item, m.name)) {
+                addUnique(&m);
+                any = true;
+            }
+        }
+        if (!any) {
+            throw std::runtime_error("machine pattern '" + item +
+                                     "' matches no registered machine");
+        }
     }
     if (out.empty())
         throw std::runtime_error("empty machine list");
@@ -135,14 +227,18 @@ parseMachineList(const std::string &csv)
 void
 printMachineList(std::ostream &os)
 {
-    os << std::left << std::setw(12) << "machine" << std::setw(9)
-       << "network" << std::setw(8) << "cached" << std::setw(8)
+    os << std::left << std::setw(14) << "machine" << std::setw(9)
+       << "network" << std::setw(8) << "cached" << std::setw(7)
+       << "proto" << std::setw(7) << "levels" << std::setw(8)
        << "jitter" << "description\n";
     for (const MachineSpec &m : machineRegistry()) {
         bool is_net = m.interconnect == InterconnectKind::Network;
-        os << std::left << std::setw(12) << m.name << std::setw(9)
+        os << std::left << std::setw(14) << m.name << std::setw(9)
            << (is_net ? "net" : "bus") << std::setw(8)
-           << (m.cached ? "yes" : "no") << std::setw(8)
+           << (m.cached ? "yes" : "no") << std::setw(7)
+           << (m.cached ? toString(m.protocol) : "-") << std::setw(7)
+           << (m.cached ? std::to_string(m.cacheLevels) : std::string("-"))
+           << std::setw(8)
            << (is_net ? std::to_string(m.netJitter) : std::string("-"))
            << m.summary << "\n";
     }

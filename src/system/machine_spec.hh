@@ -15,10 +15,22 @@
  *   bus        shared-bus, cache-coherent; write buffers under Relaxed
  *   bus-u      cache-less shared bus (Figure 1 case 1)
  *   bus-slow   contended shared bus: 3x latency, 4x occupancy
+ *   bus-mesi   shared-bus machine under the MESI protocol
+ *   bus-moesi  shared-bus machine under the MOESI protocol
+ *   bus-mesif  shared-bus machine under the MESIF protocol
+ *   bus-l2     shared-bus machine with private L2s (MSI)
  *   net        jittered-network, cache-coherent, warm caches
  *   net-cold   jittered-network, cache-coherent, cold caches
  *   net-u      cache-less banked-memory network (Figure 1 case 2)
  *   net-banked network machine with banked directories and memories
+ *   net-mesi   network machine under the MESI protocol
+ *   net-moesi  network machine under the MOESI protocol
+ *   net-mesif  network machine under the MESIF protocol
+ *   net-l2     network machine with private L2s (MESI)
+ *   net-l2-moesi network machine with private L2s (MOESI)
+ *
+ * parseMachineList accepts glob-style patterns per element: `bus-*`
+ * expands to every machine whose name matches, in registry order.
  */
 
 #ifndef WO_SYSTEM_MACHINE_SPEC_HH
@@ -40,6 +52,12 @@ struct MachineSpec
 
     InterconnectKind interconnect = InterconnectKind::Network;
     bool cached = true;
+
+    /** Coherence protocol of the cache hierarchy. */
+    ProtocolKind protocol = ProtocolKind::Msi;
+
+    /** Cache hierarchy depth (1 = L1 only, 2 = private L1+L2). */
+    int cacheLevels = 1;
 
     /** Start with warm caches (steady-state sharing). */
     bool warmCaches = false;
@@ -78,14 +96,16 @@ const MachineSpec &machineOrThrow(const std::string &name);
 
 /**
  * Parse a comma-separated machine-name list (the --machines=<list>
- * argument). Throws std::runtime_error on an empty list or unknown
- * name.
+ * argument). Each element may be a glob-style pattern (`*` matches any
+ * run, `?` one character): `bus-*,net-l2` expands against the registry
+ * in listing order, deduplicating. Throws std::runtime_error on an
+ * empty list, an unknown name or a pattern matching nothing.
  */
 std::vector<const MachineSpec *>
 parseMachineList(const std::string &csv);
 
 /** Print the registry as an aligned table: name, interconnect, cached,
- * jitter, description (the --list-machines output). */
+ * protocol, levels, jitter, description (the --list-machines output). */
 void printMachineList(std::ostream &os);
 
 } // namespace wo

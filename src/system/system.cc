@@ -32,18 +32,43 @@ System::System(const MultiProgram &program, const SystemConfig &cfg)
         net_ = std::make_unique<GeneralNetwork>(eq_, stats_, cfg_.net);
     }
 
+    if (cfg_.cacheLevels < 1 || cfg_.cacheLevels > 2)
+        throw std::invalid_argument("cacheLevels must be 1 or 2");
+    if (cfg_.cacheLevels == 2 && !cfg_.cached)
+        throw std::invalid_argument("cacheLevels > 1 needs caches");
+
     if (cfg_.cached) {
         CacheConfig ccfg = cfg_.cache;
+        ccfg.protocol = cfg_.protocol;
         ccfg.syncReadsAsWrites = policy_->syncReadsAsWrites();
         ccfg.useReserveBits = policy_->useReserveBits();
+        DirectoryConfig dcfg = cfg_.dir;
+        dcfg.protocol = cfg_.protocol;
+        // Node layout: L1s at [0, n); with an L2 level, L2s at [n, 2n)
+        // and directories behind them; otherwise directories at [n, ...).
+        NodeId dir_base = cfg_.cacheLevels == 2 ? 2 * nprocs : nprocs;
         for (int d = 0; d < cfg_.numDirs; ++d) {
             dirs_.push_back(std::make_unique<Directory>(
-                eq_, *net_, stats_, nprocs + d, cfg_.dir,
+                eq_, *net_, stats_, dir_base + d, dcfg,
                 "dir" + std::to_string(d)));
         }
+        if (cfg_.cacheLevels == 2) {
+            MidCacheConfig mcfg = cfg_.l2;
+            mcfg.protocol = cfg_.protocol;
+            for (ProcId p = 0; p < nprocs; ++p) {
+                mids_.push_back(std::make_unique<MidCache>(
+                    eq_, *net_, stats_, nprocs + p, p, dir_base,
+                    cfg_.numDirs, mcfg, "l2cache" + std::to_string(p)));
+            }
+        }
         for (ProcId p = 0; p < nprocs; ++p) {
+            // With an L2 level each L1 talks only to its private L2,
+            // which presents a directory-shaped outer interface.
+            NodeId l1_dir_base =
+                cfg_.cacheLevels == 2 ? nprocs + p : nprocs;
+            int l1_num_dirs = cfg_.cacheLevels == 2 ? 1 : cfg_.numDirs;
             caches_.push_back(std::make_unique<Cache>(
-                eq_, *net_, stats_, p, nprocs, cfg_.numDirs, ccfg,
+                eq_, *net_, stats_, p, l1_dir_base, l1_num_dirs, ccfg,
                 "cache" + std::to_string(p)));
         }
     } else {
@@ -82,6 +107,11 @@ System::structurallyCompatible(const SystemConfig &cfg) const
     return cfg.cached == cfg_.cached &&
            cfg.interconnect == cfg_.interconnect &&
            cfg.policy == cfg_.policy &&
+           cfg.protocol == cfg_.protocol &&
+           cfg.cacheLevels == cfg_.cacheLevels &&
+           cfg.l2.numSets == cfg_.l2.numSets &&
+           cfg.l2.ways == cfg_.l2.ways &&
+           cfg.l2.latency == cfg_.l2.latency &&
            cfg.writeBuffer == cfg_.writeBuffer &&
            cfg.numMemModules == cfg_.numMemModules &&
            cfg.numDirs == cfg_.numDirs &&
@@ -133,6 +163,8 @@ System::reset(const SystemConfig &cfg)
     net_->reset(cfg.net.seed);
     for (auto &c : caches_)
         c->reset();
+    for (auto &m : mids_)
+        m->reset();
     for (auto &d : dirs_)
         d->reset();
     for (auto &m : mems_)
@@ -175,13 +207,19 @@ System::loadProgram(const MultiProgram &program)
         for (Addr a : addrs)
             dirs_[a % cfg_.numDirs]->poke(a, program_.initialValue(a));
         if (cfg_.warmCaches) {
+            // The directory's sharers are the nodes it talks to: the
+            // L1s directly, or the L2s when a mid level is present.
             std::set<NodeId> all;
             for (ProcId p = 0; p < nprocs; ++p)
-                all.insert(p);
+                all.insert(cfg_.cacheLevels == 2 ? nprocs + p : p);
             for (Addr a : addrs) {
                 Word v = program_.initialValue(a);
-                for (ProcId p = 0; p < nprocs; ++p)
+                for (ProcId p = 0; p < nprocs; ++p) {
                     caches_[p]->pokeLine(a, LineState::Shared, v);
+                    if (cfg_.cacheLevels == 2)
+                        mids_[p]->pokeLine(a, LineState::Shared, v,
+                                           /*inner_shared=*/true);
+                }
                 dirs_[a % cfg_.numDirs]->pokeShared(a, all);
             }
         }
@@ -202,6 +240,8 @@ System::setTraceSink(TraceSink *sink)
     net_->setTraceSink(sink);
     for (auto &c : caches_)
         c->setTraceSink(sink);
+    for (auto &m : mids_)
+        m->setTraceSink(sink);
     for (auto &d : dirs_)
         d->setTraceSink(sink);
     for (auto &m : mems_)
@@ -255,6 +295,10 @@ System::runStreaming(Tick chunkTicks,
         if (!d->idle())
             ok = false;
     }
+    for (auto &m : mids_) {
+        if (!m->idle())
+            ok = false;
+    }
     for (auto &p : procs_)
         p->finalizeObs();
     stats_.set("system.finish_tick", finishTick());
@@ -287,6 +331,12 @@ System::cache(ProcId p)
     return cfg_.cached ? caches_.at(p).get() : nullptr;
 }
 
+MidCache *
+System::midCache(ProcId p)
+{
+    return cfg_.cacheLevels == 2 ? mids_.at(p).get() : nullptr;
+}
+
 RunResult
 System::result() const
 {
@@ -295,11 +345,21 @@ System::result() const
         Word v = 0;
         if (cfg_.cached) {
             v = dirs_[a % cfg_.numDirs]->peek(a);
-            // An exclusive cached copy is the authoritative value.
+            // A dirty cached copy is the authoritative value; the
+            // innermost level wins (an L1's M/O copy is newer than the
+            // L2 mirror behind it).
+            for (const auto &m : mids_) {
+                LineState st;
+                Word d;
+                if (m->peekLine(a, &st, &d) &&
+                    (st == LineState::Modified || st == LineState::Owned))
+                    v = d;
+            }
             for (const auto &c : caches_) {
                 LineState st;
                 Word d;
-                if (c->peekLine(a, &st, &d) && st == LineState::Exclusive)
+                if (c->peekLine(a, &st, &d) &&
+                    (st == LineState::Modified || st == LineState::Owned))
                     v = d;
             }
         } else {
@@ -327,54 +387,106 @@ System::auditCoherence() const
     std::vector<std::string> problems;
     if (!cfg_.cached)
         return problems;
+    // E holds memory's value by construction (granted clean, never
+    // written); O's dirty value was copied into memory when the read
+    // recall was serviced, so at quiescence only M may differ from it.
+    auto isOwnerState = [](LineState st) {
+        return st == LineState::Exclusive || st == LineState::Modified ||
+               st == LineState::Owned;
+    };
+    auto mayDiverge = [](LineState st) {
+        return st == LineState::Modified;
+    };
+    int nprocs = static_cast<int>(procs_.size());
     for (Addr a : program_.touchedAddrs()) {
         const Directory &dir = *dirs_[a % cfg_.numDirs];
         Directory::LineAudit da = dir.audit(a);
         if (da.busy) {
             problems.push_back("dir busy on line " + std::to_string(a));
         }
-        int exclusive_copies = 0;
-        NodeId exclusive_holder = -1;
-        for (std::size_t c = 0; c < caches_.size(); ++c) {
+        // The level the directory tracks: L1s, or L2s when present.
+        int owner_copies = 0;
+        NodeId owner_holder = -1;
+        bool owner_owned = false;
+        for (ProcId p = 0; p < nprocs; ++p) {
             LineState st;
             Word d;
-            if (!caches_[c]->peekLine(a, &st, &d))
+            bool have = cfg_.cacheLevels == 2
+                            ? mids_[p]->peekLine(a, &st, &d)
+                            : caches_[p]->peekLine(a, &st, &d);
+            NodeId node = cfg_.cacheLevels == 2 ? nprocs + p : p;
+            std::string who = (cfg_.cacheLevels == 2 ? "l2cache" : "cache") +
+                              std::to_string(p);
+            if (!have)
                 continue;
-            if (st == LineState::Exclusive) {
-                ++exclusive_copies;
-                exclusive_holder = static_cast<NodeId>(c);
-            } else {
-                if (!da.sharers.count(static_cast<NodeId>(c))) {
-                    problems.push_back(
-                        "cache" + std::to_string(c) + " holds line " +
-                        std::to_string(a) +
-                        " shared but is not in the directory sharer set");
-                }
-                if (d != dir.peek(a)) {
-                    problems.push_back(
-                        "cache" + std::to_string(c) + " shared copy of " +
-                        std::to_string(a) + " = " + std::to_string(d) +
-                        " but directory memory = " +
-                        std::to_string(dir.peek(a)));
-                }
+            if (isOwnerState(st)) {
+                ++owner_copies;
+                owner_holder = node;
+                owner_owned = st == LineState::Owned;
+            } else if (!da.sharers.count(node)) {
+                problems.push_back(
+                    who + " holds line " + std::to_string(a) +
+                    " shared but is not in the directory sharer set");
+            }
+            if (!mayDiverge(st) && d != dir.peek(a)) {
+                problems.push_back(
+                    who + " clean copy of " + std::to_string(a) + " = " +
+                    std::to_string(d) + " but directory memory = " +
+                    std::to_string(dir.peek(a)));
             }
         }
-        if (exclusive_copies > 1) {
+        if (owner_copies > 1) {
             problems.push_back("line " + std::to_string(a) + " has " +
-                               std::to_string(exclusive_copies) +
-                               " exclusive copies");
+                               std::to_string(owner_copies) +
+                               " owner-state copies");
         }
-        if (exclusive_copies == 1 &&
-            (!da.exclusive || da.owner != exclusive_holder)) {
+        if (owner_copies == 1 &&
+            (!(owner_owned ? da.owned : da.exclusive) ||
+             da.owner != owner_holder)) {
             problems.push_back(
-                "line " + std::to_string(a) + " exclusive in cache" +
-                std::to_string(exclusive_holder) +
+                "line " + std::to_string(a) + " owned by node " +
+                std::to_string(owner_holder) +
                 " but directory disagrees");
         }
-        if (exclusive_copies == 0 && da.exclusive) {
+        if (owner_copies == 0 && (da.exclusive || da.owned)) {
             problems.push_back("directory says line " + std::to_string(a) +
                                " is owned but no cache holds it "
                                "exclusively");
+        }
+        if (da.forwarder != -1 &&
+            (!da.shared || !da.sharers.count(da.forwarder))) {
+            problems.push_back(
+                "line " + std::to_string(a) +
+                " has a forwarder that is not a tracked sharer");
+        }
+        if (cfg_.cacheLevels == 2) {
+            // Inclusion: every L1 line lives in its L2, owner states
+            // match, and clean L1 copies mirror the L2's data.
+            for (ProcId p = 0; p < nprocs; ++p) {
+                LineState l1st, l2st;
+                Word l1d, l2d;
+                if (!caches_[p]->peekLine(a, &l1st, &l1d))
+                    continue;
+                if (!mids_[p]->peekLine(a, &l2st, &l2d)) {
+                    problems.push_back(
+                        "cache" + std::to_string(p) + " holds line " +
+                        std::to_string(a) +
+                        " that its L2 does not (inclusion violated)");
+                    continue;
+                }
+                if (isOwnerState(l1st) && !isOwnerState(l2st)) {
+                    problems.push_back(
+                        "cache" + std::to_string(p) + " owns line " +
+                        std::to_string(a) + " but its L2 holds it " +
+                        toString(l2st));
+                }
+                if (!mayDiverge(l1st) && l1d != l2d) {
+                    problems.push_back(
+                        "cache" + std::to_string(p) + " copy of " +
+                        std::to_string(a) + " = " + std::to_string(l1d) +
+                        " but its L2 holds " + std::to_string(l2d));
+                }
+            }
         }
     }
     return problems;

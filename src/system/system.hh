@@ -19,6 +19,7 @@
 
 #include "coherence/cache.hh"
 #include "coherence/directory.hh"
+#include "coherence/mid_cache.hh"
 #include "consistency/policy.hh"
 #include "core/trace.hh"
 #include "cpu/processor.hh"
@@ -43,6 +44,15 @@ struct SystemConfig
     InterconnectKind interconnect = InterconnectKind::Network;
     PolicyKind policy = PolicyKind::Def2Drf0;
 
+    /** Coherence protocol run by every cache and directory (cached
+     * systems; copied into the cache/dir/L2 configs at build time). */
+    ProtocolKind protocol = ProtocolKind::Msi;
+
+    /** Cache hierarchy depth: 1 = private L1 per processor (the seed
+     * topology), 2 = private L1 + private L2 per processor, with the
+     * directory behind the L2s. */
+    int cacheLevels = 1;
+
     /** Enable processor write buffers (Relaxed policy only). */
     bool writeBuffer = false;
 
@@ -54,6 +64,7 @@ struct SystemConfig
     MemoryModule::Config mem;
     DirectoryConfig dir;
     CacheConfig cache;
+    MidCacheConfig l2; ///< per-processor L2 (cacheLevels == 2)
     ProcessorConfig proc;
 
     /** Give up (livelock guard) after this many ticks. */
@@ -158,6 +169,10 @@ class System
     /** The cache of processor @p p (nullptr in cache-less systems). */
     Cache *cache(ProcId p);
 
+    /** The private L2 of processor @p p (nullptr unless cacheLevels
+     * is 2). */
+    MidCache *midCache(ProcId p);
+
     /** The event queue (advanced diagnostics / tests). */
     EventQueue &eventQueue() { return eq_; }
 
@@ -195,6 +210,7 @@ class System
     std::unique_ptr<Interconnect> net_;
     std::unique_ptr<ConsistencyPolicy> policy_;
     std::vector<std::unique_ptr<Cache>> caches_;
+    std::vector<std::unique_ptr<MidCache>> mids_;
     std::vector<std::unique_ptr<UncachedPort>> uncached_ports_;
     std::vector<std::unique_ptr<Directory>> dirs_;
     std::vector<std::unique_ptr<MemoryModule>> mems_;

@@ -143,7 +143,7 @@ TEST(Protocol, WriteMissOnUncachedLineGpOnArrival)
     LineState st;
     Word d;
     ASSERT_TRUE(rig.caches[0]->peekLine(5, &st, &d));
-    EXPECT_EQ(st, LineState::Exclusive);
+    EXPECT_EQ(st, LineState::Modified);
     EXPECT_EQ(d, 7u);
 }
 
@@ -188,7 +188,7 @@ TEST(Protocol, UpgradeFromSharedGetsExclusive)
     LineState st;
     Word d;
     ASSERT_TRUE(rig.caches[0]->peekLine(5, &st, &d));
-    EXPECT_EQ(st, LineState::Exclusive);
+    EXPECT_EQ(st, LineState::Modified);
     EXPECT_EQ(d, 9u);
     EXPECT_FALSE(rig.caches[1]->peekLine(5, nullptr, nullptr));
 }
@@ -214,7 +214,7 @@ TEST(Protocol, ConcurrentUpgradesOneWinsOtherConverts)
         LineState st;
         Word d;
         if (rig.caches[i]->peekLine(5, &st, &d) &&
-            st == LineState::Exclusive) {
+            st == LineState::Modified) {
             ++owners;
             final_val = d;
         }
@@ -252,7 +252,7 @@ TEST(Protocol, WriteOfExclusiveLineTransfersOwnership)
     LineState st;
     Word d;
     ASSERT_TRUE(rig.caches[1]->peekLine(5, &st, &d));
-    EXPECT_EQ(st, LineState::Exclusive);
+    EXPECT_EQ(st, LineState::Modified);
     EXPECT_EQ(d, 88u);
 }
 
@@ -398,7 +398,7 @@ TEST(Protocol, SyncReadAsWriteVsAsRead)
         EXPECT_EQ(rig.clients[0]->value(1), 1u);
         LineState st;
         ASSERT_TRUE(rig.caches[0]->peekLine(9, &st, nullptr));
-        EXPECT_EQ(st, as_write ? LineState::Exclusive : LineState::Shared);
+        EXPECT_EQ(st, as_write ? LineState::Modified : LineState::Shared);
     }
 }
 

@@ -22,9 +22,11 @@ TEST(MachineRegistry, ContainsDocumentedMachinesInListingOrder)
     for (const MachineSpec &m : reg)
         names.push_back(m.name);
     EXPECT_EQ(names,
-              (std::vector<std::string>{"bus", "bus-u", "bus-slow", "net",
-                                        "net-cold", "net-u",
-                                        "net-banked"}));
+              (std::vector<std::string>{
+                  "bus", "bus-u", "bus-slow", "net", "net-cold", "net-u",
+                  "net-banked", "bus-mesi", "bus-moesi", "bus-mesif",
+                  "net-mesi", "net-moesi", "net-mesif", "bus-l2",
+                  "net-l2", "net-l2-moesi"}));
     for (const MachineSpec &m : reg)
         EXPECT_FALSE(m.summary.empty()) << m.name;
 }
@@ -66,6 +68,56 @@ TEST(MachineRegistry, ParseMachineListRejectsEmptyAndUnknown)
     EXPECT_THROW(parseMachineList(""), std::runtime_error);
     EXPECT_THROW(parseMachineList(","), std::runtime_error);
     EXPECT_THROW(parseMachineList("bus,nope"), std::runtime_error);
+}
+
+TEST(MachineRegistry, ParseMachineListExpandsGlobPatterns)
+{
+    // `bus-*` expands in registry order; the literal `bus` is excluded
+    // (the pattern requires the dash).
+    auto machines = parseMachineList("bus-*");
+    ASSERT_GE(machines.size(), 5u);
+    for (const MachineSpec *m : machines) {
+        EXPECT_EQ(m->name.rfind("bus-", 0), 0u) << m->name;
+    }
+
+    // Duplicates collapse: the literal, then a pattern covering both it
+    // ("net-mes?" with zero extra chars is not a match) and net-mesif.
+    auto deduped = parseMachineList("net-mesi,net-mesi*");
+    ASSERT_EQ(deduped.size(), 2u);
+    EXPECT_EQ(deduped[0]->name, "net-mesi");
+    EXPECT_EQ(deduped[1]->name, "net-mesif");
+
+    // `*` alone is the whole registry.
+    EXPECT_EQ(parseMachineList("*").size(), machineRegistry().size());
+
+    // A pattern matching nothing is an error, like an unknown name.
+    EXPECT_THROW(parseMachineList("warp-*"), std::runtime_error);
+}
+
+TEST(MachineSpec, ProtocolVariantsMapProtocolAndLevels)
+{
+    EXPECT_EQ(machineOrThrow("bus").config().protocol,
+              ProtocolKind::Msi);
+    EXPECT_EQ(machineOrThrow("bus").config().cacheLevels, 1);
+    EXPECT_EQ(machineOrThrow("bus-mesi").config().protocol,
+              ProtocolKind::Mesi);
+    EXPECT_EQ(machineOrThrow("net-moesi").config().protocol,
+              ProtocolKind::Moesi);
+    EXPECT_EQ(machineOrThrow("net-mesif").config().protocol,
+              ProtocolKind::Mesif);
+    EXPECT_EQ(machineOrThrow("bus-l2").config().cacheLevels, 2);
+    EXPECT_EQ(machineOrThrow("bus-l2").config().protocol,
+              ProtocolKind::Msi);
+    EXPECT_EQ(machineOrThrow("net-l2").config().protocol,
+              ProtocolKind::Mesi);
+    EXPECT_EQ(machineOrThrow("net-l2-moesi").config().cacheLevels, 2);
+
+    // Protocol variants change nothing else about the base machine.
+    SystemConfig base = machineOrThrow("bus").config();
+    SystemConfig mesi = machineOrThrow("bus-mesi").config();
+    EXPECT_EQ(mesi.interconnect, base.interconnect);
+    EXPECT_EQ(mesi.bus.latency, base.bus.latency);
+    EXPECT_EQ(mesi.warmCaches, base.warmCaches);
 }
 
 TEST(MachineRegistry, PrintMachineListShowsEveryEntry)

@@ -90,8 +90,8 @@ TEST(StressAudit, AuditCatchesPlantedViolation)
     ASSERT_TRUE(sys.run());
     ASSERT_TRUE(sys.auditCoherence().empty());
     Addr a = mp.touchedAddrs().front();
-    sys.cache(0)->pokeLine(a, LineState::Exclusive, 1);
-    sys.cache(1)->pokeLine(a, LineState::Exclusive, 2);
+    sys.cache(0)->pokeLine(a, LineState::Modified, 1);
+    sys.cache(1)->pokeLine(a, LineState::Modified, 2);
     EXPECT_FALSE(sys.auditCoherence().empty());
 }
 
