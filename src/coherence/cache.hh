@@ -256,9 +256,9 @@ class Cache : public MemPort
         StatHandle silentUpgrades;
         StatHandle cleanRelinquishes;
         StatHandle reserves;
-        StatHandle stalledByReserveBound;
-        StatHandle stalledByEviction;
-        StatHandle stalledByMshrConflict;
+        StallReasonFamily::Token stalledByReserveBound;
+        StallReasonFamily::Token stalledByEviction;
+        StallReasonFamily::Token stalledByMshrConflict;
         StatHandle counterMax;
         StatHandle putacks;
         StatHandle invalidations;

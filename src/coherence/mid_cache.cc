@@ -40,6 +40,7 @@ MidCache::emitEvent(TraceKind kind, Addr addr, std::int64_t aux,
     ev.proc = inner_;
     ev.addr = addr;
     ev.aux = aux;
+    ev.level = 2; // exporters label L2 traffic distinctly from the L1s
     ev.detail = detail;
     sink_->record(ev);
 }
@@ -146,14 +147,32 @@ MidCache::sendIn(const Msg &inner_req, MsgType type, Word value,
     net_.send(m);
 }
 
+const char *
+MidCache::probeName(Probe p)
+{
+    switch (p) {
+      case Probe::None: return "None";
+      case Probe::OuterInv: return "OuterInv";
+      case Probe::RecallViaInner: return "RecallViaInner";
+      case Probe::RecallInvViaInner: return "RecallInvViaInner";
+      case Probe::RecallInvViaInv: return "RecallInvViaInv";
+      case Probe::EvictInv: return "EvictInv";
+      case Probe::EvictRecall: return "EvictRecall";
+    }
+    return "?";
+}
+
 void
-MidCache::sendProbeIn(MsgType type, Addr addr, bool for_sync)
+MidCache::sendProbeIn(MsgType type, Addr addr, bool for_sync, Probe why)
 {
     if (sink_) {
+        // Tag the probe with its *translation* (which outer stimulus
+        // or eviction produced it) — an L1 Inv and an L2 capacity
+        // eviction look identical on the wire otherwise.
         if (type == MsgType::Inv)
-            emitEvent(TraceKind::InvSent, addr, 0);
+            emitEvent(TraceKind::InvSent, addr, 0, probeName(why));
         else
-            emitEvent(TraceKind::RecallSent, addr, 0);
+            emitEvent(TraceKind::RecallSent, addr, 0, probeName(why));
     }
     Msg m;
     m.type = type;
@@ -565,10 +584,12 @@ MidCache::makeRoomFor(Addr addr)
         if (l.inner == InnerSt::Shared) {
             l.probe = Probe::EvictInv;
             stats_.inc(stat_.innerInvs);
-            sendProbeIn(MsgType::Inv, demotable, false);
+            sendProbeIn(MsgType::Inv, demotable, false,
+                        Probe::EvictInv);
         } else {
             l.probe = Probe::EvictRecall;
-            sendProbeIn(MsgType::RecallInv, demotable, false);
+            sendProbeIn(MsgType::RecallInv, demotable, false,
+                        Probe::EvictRecall);
         }
     }
     return false;
@@ -705,7 +726,7 @@ MidCache::outerInv(const Msg &msg)
     if (l->inner == InnerSt::Shared) {
         l->probe = Probe::OuterInv;
         stats_.inc(stat_.innerInvs);
-        sendProbeIn(MsgType::Inv, msg.addr, false);
+        sendProbeIn(MsgType::Inv, msg.addr, false, Probe::OuterInv);
         return;
     }
     assert(l->inner == InnerSt::None &&
@@ -741,7 +762,8 @@ MidCache::outerRecall(const Msg &msg)
         if (l->inner == InnerSt::Exclusive) {
             // Current data lives in the L1; demote it first.
             l->probe = Probe::RecallViaInner;
-            sendProbeIn(MsgType::Recall, msg.addr, msg.forSync);
+            sendProbeIn(MsgType::Recall, msg.addr, msg.forSync,
+                        Probe::RecallViaInner);
             return;
         }
         if (l->inner == InnerSt::Owned) {
@@ -762,13 +784,15 @@ MidCache::outerRecall(const Msg &msg)
     // RecallInv
     if (l->inner == InnerSt::Exclusive || l->inner == InnerSt::Owned) {
         l->probe = Probe::RecallInvViaInner;
-        sendProbeIn(MsgType::RecallInv, msg.addr, msg.forSync);
+        sendProbeIn(MsgType::RecallInv, msg.addr, msg.forSync,
+                    Probe::RecallInvViaInner);
         return;
     }
     if (l->inner == InnerSt::Shared) {
         l->probe = Probe::RecallInvViaInv;
         stats_.inc(stat_.innerInvs);
-        sendProbeIn(MsgType::Inv, msg.addr, false);
+        sendProbeIn(MsgType::Inv, msg.addr, false,
+                    Probe::RecallInvViaInv);
         return;
     }
     assert(proto_->on(l->st, ev).action == LineAction::RespondDataInv);

@@ -164,7 +164,12 @@ class MidCache
     void sendOut(MsgType type, const Msg &req, Word value);
     void sendIn(const Msg &inner_req, MsgType type, Word value,
                 int ack_count = 0);
-    void sendProbeIn(MsgType type, Addr addr, bool for_sync);
+    /** @p why tags the trace event with the probe *translation* that
+     * produced this inner message (outer stimulus vs capacity). */
+    void sendProbeIn(MsgType type, Addr addr, bool for_sync, Probe why);
+
+    /** Static name of a probe translation (trace-event detail). */
+    static const char *probeName(Probe p);
 
     Line *findLine(Addr addr);
     int setOf(Addr addr) const;

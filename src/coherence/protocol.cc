@@ -1,5 +1,7 @@
 #include "coherence/protocol.hh"
 
+#include "obs/coverage.hh"
+
 #include <algorithm>
 #include <cassert>
 #include <cctype>
@@ -137,6 +139,12 @@ CoherenceProtocol::on(LineState s, LineEvent e) const
                                ": illegal transition (" + toString(s) +
                                ", " + toString(e) + ")");
     }
+    // The single lookup site every cache level and protocol variant
+    // funnels through: transition coverage for the whole hierarchy
+    // (L1s, MidCache probe translations) costs one thread-local load
+    // and a branch here.
+    if (CoverageMap *cov = activeCoverage())
+        cov->hitTransition(kind_, s, e);
     return slot.t;
 }
 

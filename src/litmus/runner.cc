@@ -29,6 +29,7 @@ struct JobOut
     int scStatus = -1; ///< -1 unverified, 0 ok, 1 violation, 2 unknown
     std::string key;
     StatSet stats;
+    CoverageMap cov; ///< this job's coverage (RunnerOptions::coverage)
 };
 
 /** Static description of one job (shared by all seeds of a cell). */
@@ -153,6 +154,13 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
     CorpusReport report;
     report.seeds = options.seeds;
     report.baseSeed = options.baseSeed;
+    for (const MachineSpec *m : machines) {
+        MachineInfo mi;
+        mi.name = m->name;
+        mi.protocol = m->cached ? toString(m->protocol) : "none";
+        mi.cacheLevels = m->cached ? m->cacheLevels : 0;
+        report.machines.push_back(std::move(mi));
+    }
 
     Campaign campaign({options.threads, options.baseSeed});
     Drf0Memo drf0_memo;
@@ -198,6 +206,8 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
                 TraceBuffer trace_buf(options.traceMask);
                 if (!options.tracePath.empty())
                     cfg.traceSink = &trace_buf;
+                if (options.coverage)
+                    cfg.coverage = &out.cov;
                 try {
                     // Pooled path: reuse this worker thread's System
                     // for the cell (a reset replays bit-identically);
@@ -242,9 +252,11 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
                     }
                     out.stats = sys.stats();
                     // A pooled instance outlives this job; the trace
-                    // buffer it may point at does not.
+                    // buffer and coverage map it may point at do not.
                     if (options.systemPool && cfg.traceSink)
                         sys.setTraceSink(nullptr);
+                    if (options.systemPool && cfg.coverage)
+                        sys.setCoverage(nullptr);
                 } catch (const std::invalid_argument &) {
                     out.ran = false; // illegal config for this policy
                 }
@@ -266,6 +278,8 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
                 const JobOut &o =
                     outs[ci * static_cast<std::size_t>(per_cell) +
                          static_cast<std::size_t>(s)];
+                if (options.coverage)
+                    report.coverage.merge(o.cov);
                 if (!o.ran)
                     continue;
                 ++cell.runs;
@@ -416,6 +430,27 @@ runCorpus(const std::vector<CompiledLitmus> &tests,
                             mc.observed.push_back(key);
                         else
                             mc.unobserved.push_back(key);
+                    }
+                    // Outcome coverage: seed every allowed key for
+                    // this cell (count 0 = allowed but unobserved),
+                    // bump the observed ones by their histogram
+                    // count. Cells the policy cannot run on (runs 0)
+                    // are not seeded — those are impossibilities, not
+                    // gaps.
+                    if (options.coverage && cell.runs > 0) {
+                        const std::string stem =
+                            tr.name + "\t" + toString(pk) + "\t" +
+                            cell.variant + "\t";
+                        for (const auto &[key, count] :
+                             cell.histogram) {
+                            report.coverage.hitKey(
+                                CoverageMap::Dim::Outcome, stem + key,
+                                static_cast<std::uint64_t>(count));
+                        }
+                        for (const std::string &key : mc.unobserved) {
+                            report.coverage.internKey(
+                                CoverageMap::Dim::Outcome, stem + key);
+                        }
                     }
                     cov.machines.push_back(std::move(mc));
                 }
@@ -666,50 +701,23 @@ writeJsonReport(std::ostream &os, const CorpusReport &report)
     os << "\n}\n";
 }
 
+StandingCoverage
+standingCoverage(const CorpusReport &report)
+{
+    StandingCoverage st;
+    st.runs = 1;
+    st.meta.insert({"seeds", std::to_string(report.seeds)});
+    st.meta.insert({"baseSeed", std::to_string(report.baseSeed)});
+    for (const MachineInfo &mi : report.machines)
+        st.addMachine(mi.name, mi.protocol, mi.cacheLevels);
+    st.addCoverage(report.coverage);
+    return st;
+}
+
 void
 writeCoverageReport(std::ostream &os, const CorpusReport &report)
 {
-    auto keys = [&os](const std::vector<std::string> &v) {
-        os << "[";
-        for (std::size_t k = 0; k < v.size(); ++k)
-            os << (k ? ", " : "") << "\"" << jsonEscape(v[k]) << "\"";
-        os << "]";
-    };
-    os << "{\n";
-    os << "  \"seeds\": " << report.seeds << ",\n";
-    os << "  \"baseSeed\": " << report.baseSeed << ",\n";
-    os << "  \"tests\": [\n";
-    for (std::size_t t = 0; t < report.tests.size(); ++t) {
-        const TestReport &tr = report.tests[t];
-        os << "    {\"name\": \"" << jsonEscape(tr.name)
-           << "\", \"file\": \"" << jsonEscape(tr.file)
-           << "\", \"coverage\": [\n";
-        for (std::size_t i = 0; i < tr.coverage.size(); ++i) {
-            const PolicyCoverage &cov = tr.coverage[i];
-            os << "      {\"policy\": \"" << toString(cov.policy)
-               << "\", \"model\": \"" << jsonEscape(cov.model)
-               << "\",\n       \"observed\": ";
-            keys(cov.observed);
-            os << ", \"unobserved\": ";
-            keys(cov.unobserved);
-            os << ",\n       \"machines\": [";
-            for (std::size_t m = 0; m < cov.machines.size(); ++m) {
-                const MachineCoverage &mc = cov.machines[m];
-                os << (m ? ",\n         " : "\n         ")
-                   << "{\"variant\": \"" << jsonEscape(mc.variant)
-                   << "\", \"observed\": ";
-                keys(mc.observed);
-                os << ", \"unobserved\": ";
-                keys(mc.unobserved);
-                os << "}";
-            }
-            os << (cov.machines.empty() ? "]}" : "\n       ]}")
-               << (i + 1 < tr.coverage.size() ? "," : "") << "\n";
-        }
-        os << "    ]}" << (t + 1 < report.tests.size() ? "," : "")
-           << "\n";
-    }
-    os << "  ]\n}\n";
+    standingCoverage(report).write(os);
 }
 
 } // namespace litmus_dsl

@@ -36,6 +36,8 @@
 #include "axiom/enumerate.hh"
 #include "consistency/policy.hh"
 #include "litmus/compiler.hh"
+#include "obs/coverage.hh"
+#include "obs/coverage_report.hh"
 #include "obs/trace_event.hh"
 #include "sim/stats.hh"
 #include "system/machine_spec.hh"
@@ -93,6 +95,17 @@ struct RunnerOptions
 
     /** Component filter for trace events (see parseTraceFilter). */
     std::uint32_t traceMask = kAllTraceComps;
+
+    /**
+     * Record coverage counters (protocol transitions, stall reasons,
+     * latency buckets, outcome coverage) into CorpusReport::coverage.
+     * Each job runs with a private CoverageMap merged in job-index
+     * order, so the merged map — like every report — is byte-identical
+     * for any --threads value. Off by default: with coverage off the
+     * instrumented sites cost one thread-local load and branch each,
+     * and reports are bit-unchanged either way.
+     */
+    bool coverage = false;
 
     std::vector<PolicyKind> policies = {
         PolicyKind::Sc,
@@ -200,6 +213,15 @@ struct TestReport
     std::vector<std::string> failures; ///< human-readable reasons
 };
 
+/** Registry metadata of one machine in the fan (carried into the
+ * standing coverage report so diffs survive registry growth). */
+struct MachineInfo
+{
+    std::string name;
+    std::string protocol; ///< "msi".."mesif", or "none" (uncached)
+    int cacheLevels = 0;  ///< 0 for uncached machines
+};
+
 /** Whole-corpus result. */
 struct CorpusReport
 {
@@ -210,6 +232,14 @@ struct CorpusReport
 
     /** Simulation stats merged over every run, in job order. */
     StatSet stats;
+
+    /** Coverage counters merged over every run, in job order (empty
+     * unless RunnerOptions::coverage was set). Outcome-dimension keys
+     * are "test\tpolicy\tmachine\toutcome key" composites. */
+    CoverageMap coverage;
+
+    /** The machine fan this corpus ran against. */
+    std::vector<MachineInfo> machines;
 };
 
 /**
@@ -235,11 +265,16 @@ void printReport(std::ostream &os, const CorpusReport &report,
 /** Machine-readable JSON report (stable key order). */
 void writeJsonReport(std::ostream &os, const CorpusReport &report);
 
-/** Standing coverage report (stable key order): per test x policy, the
- * model-allowed outcomes split into observed/unobserved, with the
- * per-machine breakdown. This is the artifact wo-litmus
- * --coverage-report=FILE tracks across runs — a diff shows outcomes a
- * machine gained or lost the ability to produce. */
+/** Build a one-run StandingCoverage (runs = 1, seeds/baseSeed meta,
+ * machine metadata, every CoverageMap counter) from a corpus run with
+ * RunnerOptions::coverage set. wo-litmus --coverage-report=FILE merges
+ * this into the existing on-disk report. */
+StandingCoverage standingCoverage(const CorpusReport &report);
+
+/** Write standingCoverage(report) in the canonical wocover format
+ * (stable section order, sorted lines — byte-identical for any
+ * --threads value). wo-cover renders heatmaps, lists gaps and diffs
+ * two such reports. */
 void writeCoverageReport(std::ostream &os, const CorpusReport &report);
 
 } // namespace litmus_dsl

@@ -94,6 +94,10 @@ Interconnect::deliverAt(Tick when, Msg msg)
         ev.text = toString(msg.type);
         sink_->record(ev);
         lat_msg_.record(when - eq_.now());
+    } else {
+        // Tracing off: bucket occupancy still reaches an installed
+        // CoverageMap (no stats interned, reports unchanged).
+        lat_msg_.coverOnly(when - eq_.now());
     }
     eq_.scheduleAt(when, [this, msg = std::move(msg)] {
         auto it = handlers_.find(msg.dst);

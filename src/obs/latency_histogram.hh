@@ -22,6 +22,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/coverage.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -40,15 +41,15 @@ class LatencyHistogram
         counts_.fill(0);
     }
 
-    /** Bucket for @p v: 0 for 0, floor(log2(v)) + 1 otherwise, capped. */
+    /** Bucket for @p v: 0 for 0, floor(log2(v)) + 1 otherwise, capped.
+     * Constant-time: this runs per latency sample when coverage is
+     * enabled, where a shift loop is measurable. */
     static int
     bucketIndex(Tick v)
     {
         if (v == 0)
             return 0;
-        int b = 1;
-        while (v >>= 1)
-            ++b;
+        int b = 64 - __builtin_clzll(static_cast<unsigned long long>(v));
         return b < kBuckets - 1 ? b : kBuckets - 1;
     }
 
@@ -70,8 +71,28 @@ class LatencyHistogram
         return (Tick{1} << i) - 1;
     }
 
-    /** Record one sample (bumps local counts and the StatSet mirror). */
+    /** Record one sample (bumps local counts and the StatSet mirror,
+     * plus the coverage bucket row when a CoverageMap is installed). */
     void record(Tick v);
+
+    /**
+     * Coverage-only sample: note @p v's bucket for the installed
+     * CoverageMap without touching local counts or the StatSet (and
+     * without interning any handles). The `if (sink_)` guards that
+     * keep tracing-off reports byte-identical skip record() entirely;
+     * their else-branches call this so bucket *occupancy* is still
+     * observed when only coverage is enabled. No-op with no map
+     * installed. Samples land in a private pending array and reach
+     * the map when the installing CoverageScope closes — this is a
+     * per-message/per-op path, and even an interned-id map bump per
+     * sample shows up in the trace_overhead coverage gate.
+     */
+    void
+    coverOnly(Tick v)
+    {
+        if (activeCoverage() != nullptr)
+            coverPending(bucketIndex(v));
+    }
 
     /**
      * Zero the local counts for reuse. The StatSet mirror is NOT
@@ -102,6 +123,22 @@ class LatencyHistogram
   private:
     void internHandles();
 
+    /** Bump the pending delta for @p bucket, registering the deferred
+     * flush on the first sample of a cycle. */
+    void
+    coverPending(int bucket)
+    {
+        ++cov_pending_[bucket];
+        if (!cov_dirty_) {
+            cov_dirty_ = true;
+            registerCoverageFlush(this, &LatencyHistogram::flushCoverage);
+        }
+    }
+
+    /** Deferred-flush callback: add pending deltas to @p cov (dropped
+     * when null) and rearm. */
+    static void flushCoverage(void *self, CoverageMap *cov);
+
     StatSet &stats_;
     std::string prefix_;
     bool interned_ = false;
@@ -109,6 +146,13 @@ class LatencyHistogram
     StatHandle count_handle_;
     StatHandle total_handle_;
     StatHandle max_handle_;
+
+    /** Per-sample deltas awaiting a deferred flush (see coverOnly).
+     * Interned-id caching lives in a thread-local shared by all
+     * histograms (see latency_histogram.cc) because campaign jobs
+     * construct fresh histograms per run. */
+    std::array<std::uint64_t, kBuckets> cov_pending_{};
+    bool cov_dirty_ = false;
 
     std::array<std::uint64_t, kBuckets> counts_;
     std::uint64_t count_ = 0;

@@ -101,6 +101,7 @@ struct TraceEvent
     Word value = 0;
     std::uint64_t opId = 0;       ///< processor op id (0 = none)
     std::int64_t aux = 0;         ///< kind-specific scalar (counter, latency)
+    std::uint8_t level = 1;       ///< cache-hierarchy level (MidCache = 2)
     const char *detail = nullptr; ///< static tag (access kind, stall reason)
     std::string text;             ///< dynamic payload (msg type, log line)
 };

@@ -52,7 +52,7 @@ tidOf(const TraceEvent &ev)
     int base = 0;
     switch (ev.comp) {
       case TraceComp::Proc: base = 0; break;
-      case TraceComp::Cache: base = 100; break;
+      case TraceComp::Cache: base = ev.level >= 2 ? 150 : 100; break;
       case TraceComp::Dir: base = 200; break;
       case TraceComp::Mem: base = 300; break;
       case TraceComp::Port: base = 400; break;
@@ -66,6 +66,8 @@ std::string
 threadLabel(const TraceEvent &ev)
 {
     std::string label = toString(ev.comp);
+    if (ev.comp == TraceComp::Cache && ev.level >= 2)
+        label = "l" + std::to_string(int{ev.level}) + "cache";
     if (ev.compId >= 0 &&
         (ev.comp == TraceComp::Proc || ev.comp == TraceComp::Cache ||
          ev.comp == TraceComp::Dir || ev.comp == TraceComp::Mem ||
@@ -104,6 +106,8 @@ argsJson(const TraceEvent &ev)
         field("value", std::to_string(ev.value), false);
     if (ev.aux)
         field("aux", std::to_string(ev.aux), false);
+    if (ev.level > 1)
+        field("level", std::to_string(int{ev.level}), false);
     if (ev.detail)
         field("detail", ev.detail, true);
     if (!ev.text.empty())

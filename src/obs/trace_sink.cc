@@ -15,7 +15,11 @@ renderTraceLine(const TraceEvent &ev)
         oss << ev.tick << " " << ev.text;
         return oss.str();
     }
-    oss << ev.tick << " [" << toString(ev.comp);
+    oss << ev.tick << " [";
+    if (ev.comp == TraceComp::Cache && ev.level >= 2)
+        oss << "l" << int{ev.level} << "cache";
+    else
+        oss << toString(ev.comp);
     if (ev.compId >= 0)
         oss << ev.compId;
     oss << "] " << toString(ev.kind);

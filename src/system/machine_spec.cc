@@ -21,6 +21,11 @@ MachineSpec::config(PolicyKind policy, std::uint64_t netSeed) const
     cfg.warmCaches = warmCaches;
     cfg.numMemModules = numMemModules;
     cfg.numDirs = numDirs;
+    if (cacheSets > 0) {
+        cfg.cache.numSets = cacheSets;
+        if (cacheWays > 0)
+            cfg.cache.ways = cacheWays;
+    }
     cfg.bus.latency = busLatency;
     cfg.bus.occupancy = busOccupancy;
     cfg.net.base = netBase;
@@ -42,6 +47,17 @@ machineRegistry()
         bus.interconnect = InterconnectKind::Bus;
         bus.writeBufferOnRelaxed = true;
         r.push_back(bus);
+
+        // Capacity-bounded variant: the tiny L1 forces real evictions
+        // (Evict protocol transitions), which the unbounded machines
+        // never exercise.
+        MachineSpec bus_cap = bus;
+        bus_cap.name = "bus-cap";
+        bus_cap.summary = "shared-bus machine with tiny bounded L1s "
+                          "(capacity evictions)";
+        bus_cap.cacheSets = 1;
+        bus_cap.cacheWays = 2;
+        r.push_back(bus_cap);
 
         MachineSpec bus_u;
         bus_u.name = "bus-u";

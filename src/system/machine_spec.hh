@@ -13,6 +13,7 @@
  *
  * Registered machines:
  *   bus        shared-bus, cache-coherent; write buffers under Relaxed
+ *   bus-cap    shared-bus machine with tiny bounded L1s (evictions)
  *   bus-u      cache-less shared bus (Figure 1 case 1)
  *   bus-slow   contended shared bus: 3x latency, 4x occupancy
  *   bus-mesi   shared-bus machine under the MESI protocol
@@ -58,6 +59,12 @@ struct MachineSpec
 
     /** Cache hierarchy depth (1 = L1 only, 2 = private L1+L2). */
     int cacheLevels = 1;
+
+    /** L1 sets; 0 models an unbounded cache (no capacity evictions). */
+    int cacheSets = 0;
+
+    /** L1 associativity (used when cacheSets > 0). */
+    int cacheWays = 0;
 
     /** Start with warm caches (steady-state sharing). */
     bool warmCaches = false;

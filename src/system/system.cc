@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/coverage.hh"
+
 namespace wo {
 
 System::System(const MultiProgram &program, const SystemConfig &cfg)
@@ -152,8 +154,8 @@ System::reset(const SystemConfig &cfg)
     if (!structurallyCompatible(cfg)) {
         throw std::invalid_argument(
             "System::reset: config is structurally incompatible with the "
-            "built topology (only net.seed, maxTicks and traceSink may "
-            "vary between runs)");
+            "built topology (only net.seed, maxTicks, traceSink and "
+            "coverage may vary between runs)");
     }
     // Deliberate drain: a run that hit its livelock tick limit leaves
     // events pending, and abandoning them is exactly what reuse wants.
@@ -174,6 +176,7 @@ System::reset(const SystemConfig &cfg)
     cfg_.net.seed = cfg.net.seed;
     cfg_.maxTicks = cfg.maxTicks;
     setTraceSink(cfg.traceSink);
+    setCoverage(cfg.coverage);
     loaded_ = false;
 }
 
@@ -266,6 +269,10 @@ System::runStreaming(Tick chunkTicks,
         throw std::logic_error(
             "System::run: no program loaded since reset (call "
             "loadProgram first)");
+    // Everything this run exercises — protocol transitions, stall
+    // reasons, latency buckets — lands in the configured CoverageMap;
+    // the scope restores the previous thread-local map on exit.
+    CoverageScope cov_scope(cfg_.coverage);
     for (auto &p : procs_)
         p->start();
     bool drained;

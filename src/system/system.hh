@@ -32,6 +32,7 @@
 
 namespace wo {
 
+class CoverageMap;
 class TraceSink;
 
 /** Which interconnect family to build. */
@@ -78,6 +79,20 @@ struct SystemConfig
      * must outlive the System). Null = tracing disabled: no events, no
      * extra stats, byte-identical reports. */
     TraceSink *traceSink = nullptr;
+
+    /**
+     * Campaign coverage counters (non-owning; must outlive the run).
+     * runStreaming installs it thread-locally for the run's duration,
+     * so instrumented sites (protocol lookups, stall families, latency
+     * buckets) record into it. Null = coverage disabled: one
+     * thread-local load and branch per site, nothing recorded.
+     * Recording is passive (never touches stats or simulator state),
+     * so reports stay byte-identical either way. Like traceSink, the
+     * pointer is exempt from structural compatibility: the map is the
+     * campaign's, survives System::reset between pooled jobs, and owes
+     * the System nothing when the pool drops it.
+     */
+    CoverageMap *coverage = nullptr;
 };
 
 /** A complete simulated multiprocessor running one workload. */
@@ -148,6 +163,11 @@ class System
     /** Rewire the structured trace sink on every component (nullptr
      * detaches); reset(cfg) applies cfg.traceSink through this. */
     void setTraceSink(TraceSink *sink);
+
+    /** Point the next run at @p cov (nullptr detaches); reset(cfg)
+     * applies cfg.coverage through this. A pooled System outliving a
+     * per-job CoverageMap must be detached before the map dies. */
+    void setCoverage(CoverageMap *cov) { cfg_.coverage = cov; }
 
     /** Observable outcome (registers padded to the workload's register
      * count so results compare against idealized outcomes). */

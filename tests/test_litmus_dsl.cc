@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <set>
@@ -342,6 +343,7 @@ TEST(LitmusRunner, ReportsAreIdenticalAcrossThreadCounts)
     RunnerOptions opt;
     opt.seeds = 4;
     opt.drf0Schedules = 40;
+    opt.coverage = true;
     opt.policies = {PolicyKind::Sc, PolicyKind::Relaxed};
 
     std::string out[2], json[2], cov[2];
@@ -379,6 +381,7 @@ TEST(LitmusRunner, CoverageBreaksDownPerMachine)
     opt.seeds = 4;
     opt.threads = 2;
     opt.drf0Schedules = 40;
+    opt.coverage = true;
     opt.policies = {PolicyKind::Sc, PolicyKind::Relaxed};
 
     CorpusReport rep = runCorpus(corpus, opt);
@@ -406,13 +409,17 @@ TEST(LitmusRunner, CoverageBreaksDownPerMachine)
                                         pc.observed.end()));
     }
 
+    // The standing wocover rendering carries machine metadata, the
+    // protocol transitions the fan exercised and the per-machine
+    // outcome coverage rows (count 0 = allowed but unobserved).
     std::ostringstream cs;
     writeCoverageReport(cs, rep);
     const std::string doc = cs.str();
-    EXPECT_NE(doc.find("\"machines\""), std::string::npos);
-    EXPECT_NE(doc.find("\"variant\": \"bus\""), std::string::npos);
-    EXPECT_NE(doc.find("\"variant\": \"net\""), std::string::npos);
-    EXPECT_NE(doc.find("\"name\": \"sb\""), std::string::npos);
+    EXPECT_EQ(doc.rfind("wocover\t1\n", 0), 0u);
+    EXPECT_NE(doc.find("machine\tbus\tmsi\t1"), std::string::npos);
+    EXPECT_NE(doc.find("machine\tnet-u\tnone\t0"), std::string::npos);
+    EXPECT_NE(doc.find("trans\tmsi\t"), std::string::npos);
+    EXPECT_NE(doc.find("outcome\tsb\t"), std::string::npos);
 }
 
 TEST(LitmusRunner, FindLitmusFilesRejectsMissingPath)
@@ -465,23 +472,44 @@ TEST(WoLitmusTool, CoverageReportFileIsWritten)
 {
     const std::string dir = ::testing::TempDir();
     const std::string corpus = dir + "/wo_cov_mp.litmus";
-    const std::string report = dir + "/wo_cov_report.json";
+    const std::string report = dir + "/wo_cov_report.wocover";
     {
         std::ofstream out(corpus);
         ASSERT_TRUE(out);
         out << kMp;
     }
+    std::remove(report.c_str());
     EXPECT_EQ(woLitmusExit("--seeds=2 --coverage-report=" + report +
                            " " + corpus),
               0);
     std::ifstream in(report);
-    ASSERT_TRUE(in) << "standing coverage JSON missing: " << report;
+    ASSERT_TRUE(in) << "standing coverage report missing: " << report;
     std::stringstream buf;
     buf << in.rdbuf();
     const std::string doc = buf.str();
-    EXPECT_NE(doc.find("\"machines\""), std::string::npos);
-    EXPECT_NE(doc.find("\"variant\": \"bus\""), std::string::npos);
-    EXPECT_NE(doc.find("\"unobserved\""), std::string::npos);
+    EXPECT_EQ(doc.rfind("wocover\t1\n", 0), 0u);
+    EXPECT_NE(doc.find("meta\truns\t1"), std::string::npos);
+    EXPECT_NE(doc.find("machine\tbus\tmsi\t1"), std::string::npos);
+    EXPECT_NE(doc.find("trans\tmsi\t"), std::string::npos);
+
+    // A second run grows the same file instead of overwriting it.
+    EXPECT_EQ(woLitmusExit("--seeds=2 --coverage-report=" + report +
+                           " " + corpus),
+              0);
+    std::ifstream in2(report);
+    ASSERT_TRUE(in2);
+    std::stringstream buf2;
+    buf2 << in2.rdbuf();
+    EXPECT_NE(buf2.str().find("meta\truns\t2"), std::string::npos);
+
+    // A malformed standing report is an error, not clobbered.
+    {
+        std::ofstream out(report);
+        out << "not a wocover file\n";
+    }
+    EXPECT_EQ(woLitmusExit("--seeds=2 --coverage-report=" + report +
+                           " " + corpus),
+              2);
 }
 #endif // WO_LITMUS_BIN
 

@@ -23,7 +23,8 @@ TEST(MachineRegistry, ContainsDocumentedMachinesInListingOrder)
         names.push_back(m.name);
     EXPECT_EQ(names,
               (std::vector<std::string>{
-                  "bus", "bus-u", "bus-slow", "net", "net-cold", "net-u",
+                  "bus", "bus-cap", "bus-u", "bus-slow", "net",
+                  "net-cold", "net-u",
                   "net-banked", "bus-mesi", "bus-moesi", "bus-mesif",
                   "net-mesi", "net-moesi", "net-mesif", "bus-l2",
                   "net-l2", "net-l2-moesi"}));

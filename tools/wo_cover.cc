@@ -1,0 +1,88 @@
+/**
+ * @file
+ * wo-cover: render and compare standing coverage reports (the wocover
+ * files `wo-litmus --coverage-report=FILE` grows).
+ *
+ *   $ wo-cover heatmap REPORT        protocol-transition heatmaps
+ *   $ wo-cover gaps REPORT           unhit legal transitions and
+ *                                    allowed-but-unobserved outcomes
+ *   $ wo-cover diff OLD NEW          coverage gained / lost between two
+ *                                    standing reports
+ *   $ wo-cover show REPORT           re-emit REPORT canonically
+ *
+ * The heatmap prints one table per protocol the report exercised: one
+ * row per protocol state, one column per line event; cells show the
+ * hit count, 0 for a legal-but-unhit transition and '-' for an illegal
+ * (state, event) pair — so the 0 cells are the to-do list and the '-'
+ * cells are noise-free.
+ *
+ * Exit status:
+ *   heatmap/gaps/show: 0 on success, 2 on usage or parse errors.
+ *   diff: 0 when NEW has no coverage regression against OLD, 1 when
+ *   coverage was lost (a transition, stall reason or outcome covered in
+ *   OLD is at zero or gone in NEW — latency-bucket losses are reported
+ *   but do not gate), 2 on usage or parse errors.
+ */
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "obs/coverage_report.hh"
+
+namespace {
+
+using namespace wo;
+
+int
+usage(std::ostream &os)
+{
+    os << "usage: wo-cover heatmap REPORT\n"
+          "       wo-cover gaps REPORT\n"
+          "       wo-cover diff OLD NEW\n"
+          "       wo-cover show REPORT\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(std::cerr);
+    std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h") {
+        usage(std::cout);
+        return 0;
+    }
+
+    try {
+        if (cmd == "heatmap" || cmd == "gaps" || cmd == "show") {
+            if (argc != 3)
+                return usage(std::cerr);
+            StandingCoverage rep = StandingCoverage::readFile(argv[2]);
+            if (cmd == "heatmap")
+                renderHeatmap(std::cout, rep);
+            else if (cmd == "gaps")
+                renderGaps(std::cout, rep);
+            else
+                rep.write(std::cout);
+            return 0;
+        }
+        if (cmd == "diff") {
+            if (argc != 4)
+                return usage(std::cerr);
+            StandingCoverage oldRep = StandingCoverage::readFile(argv[2]);
+            StandingCoverage newRep = StandingCoverage::readFile(argv[3]);
+            CoverageDiff d = diffStanding(oldRep, newRep);
+            renderDiff(std::cout, d);
+            return d.hasRegressions() ? 1 : 0;
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "wo-cover: " << e.what() << "\n";
+        return 2;
+    }
+    std::cerr << "wo-cover: unknown command '" << cmd << "'\n";
+    return usage(std::cerr);
+}

@@ -33,12 +33,14 @@
  *                    failure message)
  *   --no-axiom-check skip the axiomatic stage
  *   --coverage-report[=FILE]
- *                    print per-policy observed vs allowed outcome
- *                    coverage with the per-machine breakdown
- *                    (allowed-but-never-observed outcomes); with =FILE,
- *                    also write the standing coverage JSON there — a
- *                    committed artifact whose diff across runs shows
- *                    outcomes a machine gained or lost
+ *                    record coverage counters (protocol transitions,
+ *                    stall reasons, latency buckets, outcome coverage
+ *                    against the axiomatic allowed sets) and print the
+ *                    per-policy observed vs allowed outcome coverage;
+ *                    with =FILE, grow the standing wocover report at
+ *                    FILE (read, merge this run, rewrite) — the
+ *                    committed artifact wo-cover renders heatmaps,
+ *                    lists gaps and diffs against
  *   --no-histograms  omit outcome histograms from the text report
  *   --list           parse + compile only; list tests and exit
  *   --trace=STEM     write one Chrome-trace JSON per run, named
@@ -183,8 +185,10 @@ main(int argc, char **argv)
             options.axiomCheck = false;
         } else if (arg == "--coverage-report") {
             coverage = true;
+            options.coverage = true;
         } else if (arg.rfind("--coverage-report=", 0) == 0) {
             coverage = true;
+            options.coverage = true;
             coverage_file = arg.substr(18);
             if (coverage_file.empty()) {
                 std::cerr << "wo-litmus: empty --coverage-report file\n";
@@ -263,13 +267,31 @@ main(int argc, char **argv)
         }
     }
     if (!coverage_file.empty()) {
+        // Grow the standing report: merge this run into whatever the
+        // file already holds (an absent or empty file starts fresh; a
+        // malformed one is an error, not something to overwrite).
+        StandingCoverage st = standingCoverage(report);
+        {
+            std::ifstream in(coverage_file);
+            if (in && in.peek() != std::ifstream::traits_type::eof()) {
+                try {
+                    StandingCoverage prev = StandingCoverage::read(in);
+                    prev.mergeFrom(st);
+                    st = std::move(prev);
+                } catch (const std::exception &e) {
+                    std::cerr << "wo-litmus: " << coverage_file << ": "
+                              << e.what() << "\n";
+                    return 2;
+                }
+            }
+        }
         std::ofstream out(coverage_file);
         if (!out) {
             std::cerr << "wo-litmus: cannot write " << coverage_file
                       << "\n";
             return 2;
         }
-        writeCoverageReport(out, report);
+        st.write(out);
         std::cout << "coverage report written to " << coverage_file
                   << "\n";
     }
